@@ -1,0 +1,67 @@
+// Ablation A2: how search latency and energy scale with row width for the
+// 3T2N and 16T SRAM designs (16 → 128 bits). Wire and junction loading on
+// the matchline grow with width; the 3T2N's advantage persists across the
+// sweep.
+#include <map>
+
+#include "BenchCommon.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::bench;
+using namespace nemtcam::tcam;
+
+struct Point {
+  SearchMetrics nem;
+  SearchMetrics sram;
+};
+std::map<int, Point> g_points;
+
+void BM_WidthSweep(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  Point pt;
+  for (auto _ : state) {
+    for (const TcamKind kind : {TcamKind::Nem3T2N, TcamKind::Sram16T}) {
+      auto row = make_row(kind, width, kRows);
+      const auto word = checker_word(width);
+      row->store(word);
+      const SearchMetrics m = row->search(one_bit_mismatch_key(word));
+      if (kind == TcamKind::Nem3T2N) pt.nem = m;
+      else pt.sram = m;
+    }
+  }
+  g_points[width] = pt;
+  state.counters["nem_latency_ps"] = pt.nem.latency * 1e12;
+  state.counters["sram_latency_ps"] = pt.sram.latency * 1e12;
+}
+
+BENCHMARK(BM_WidthSweep)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(96)
+    ->Arg(128)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  using nemtcam::util::ratio_format;
+  using nemtcam::util::si_format;
+  nemtcam::util::Table t({"width", "3T2N latency", "SRAM latency", "speedup",
+                          "3T2N energy", "SRAM energy"});
+  for (const auto& [w, p] : g_points)
+    t.add_row({std::to_string(w), si_format(p.nem.latency, "s"),
+               si_format(p.sram.latency, "s"),
+               ratio_format(p.sram.latency / p.nem.latency),
+               si_format(p.nem.energy, "J"), si_format(p.sram.energy, "J")});
+  std::printf("\nAblation A2 — search scaling with row width (64-row column"
+              " loading)\n");
+  t.print();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Cache-tag example: a fully-associative victim-cache-style tag store on
+// the TCAM, exercised with a loop-with-working-set access pattern, and a
+// cost comparison across the four TCAM technologies for the same trace.
+#include <cstdio>
+#include <vector>
+
+#include "arch/AssocCache.h"
+#include "util/Random.h"
+#include "util/Table.h"
+
+using namespace nemtcam;
+using namespace nemtcam::arch;
+using core::TcamTech;
+
+namespace {
+
+// Strided loop over a working set with occasional random pointer chases.
+std::vector<std::uint64_t> make_trace(int n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> trace;
+  trace.reserve(static_cast<std::size_t>(n));
+  std::uint64_t base = 0x10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.1)) {
+      trace.push_back(0x900000 + 64 * static_cast<std::uint64_t>(
+                                          rng.uniform_int(0, 4096)));
+    } else {
+      trace.push_back(base + 64 * static_cast<std::uint64_t>(i % 48));
+    }
+    if (i % 500 == 499) base += 0x4000;  // phase change
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  const auto trace = make_trace(30000, 99);
+
+  util::Table t({"technology", "hit rate", "evictions", "tag energy",
+                 "avg energy/access", "refreshes"});
+  for (const TcamTech tech : {TcamTech::Sram16T, TcamTech::Nem3T2N,
+                              TcamTech::Rram2T2R, TcamTech::Fefet2F}) {
+    AssocCache cache(/*ways=*/64, /*line_bytes=*/64, /*tag_bits=*/48, tech);
+    for (const std::uint64_t addr : trace) cache.access(addr);
+    const auto& s = cache.stats();
+    const auto& l = cache.ledger();
+    t.add_row({core::tech_name(tech),
+               util::si_format(s.hit_rate() * 100.0, "%", 3),
+               std::to_string(s.evictions),
+               util::si_format(l.energy, "J"),
+               util::si_format(l.energy / s.accesses, "J"),
+               std::to_string(l.refreshes)});
+  }
+  std::printf("fully-associative 64-way tag store, 30k-access trace\n");
+  t.print();
+  std::printf("\nHit rates are identical by construction (same trace, same"
+              " LRU); the technologies differ in energy — the write-heavy"
+              " eviction traffic is where the NVM TCAMs pay and the 3T2N"
+              " stays cheap.\n");
+  return 0;
+}

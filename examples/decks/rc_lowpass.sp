@@ -1,0 +1,8 @@
+RC low-pass step response (nemtcam_sim demo)
+V1 vin 0 PULSE(0 1 1n 0.05n 0.05n 20n)
+R1 vin out 10k
+C1 out 0 100f
+.ic v(out)=0
+.tran 10p 8n
+.print v(vin) v(out)
+.end

@@ -1,0 +1,8 @@
+NEM relay pull-down with resistive load (hysteresis demo)
+V1 g 0 PWL(0 0 20n 1 40n 0)
+V2 vdd 0 1
+R1 vdd out 100k
+N1 out g 0 0
+.tran 50p 40n
+.print v(g) v(out)
+.end

@@ -1,0 +1,69 @@
+// Quickstart: the two levels of the nemtcam API.
+//
+//  1. Functional level (core::DynamicTcam): a 3T2N TCAM with retention and
+//     one-shot refresh on a virtual clock — fast, for architectural use.
+//  2. Circuit level (tcam::TcamRow): transistor/relay netlists solved by
+//     the bundled SPICE-like engine — the layer the paper's benchmarking
+//     runs on.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/DynamicTcam.h"
+#include "tcam/Nem3T2NRow.h"
+#include "util/Table.h"
+
+using namespace nemtcam;
+using core::DynamicTcam;
+using core::TcamTech;
+using core::TernaryWord;
+
+int main() {
+  std::printf("== 1. Functional dynamic TCAM (3T2N semantics) ==\n");
+  DynamicTcam tcam(TcamTech::Nem3T2N, /*rows=*/8, /*width=*/8);
+
+  // Store three patterns; 'X' matches either value.
+  tcam.write(0, TernaryWord("10110010"));
+  tcam.write(1, TernaryWord("1011XXXX"));
+  tcam.write(2, TernaryWord("XXXXXXXX"));
+
+  const auto hits = tcam.search(TernaryWord("10111111"));
+  std::printf("key 10111111 matches rows:");
+  for (int r : hits) std::printf(" %d", r);
+  std::printf("  (expected: 1 2)\n");
+
+  // The array refreshes itself (one-shot) while time advances.
+  tcam.advance(100e-6);  // 100 µs ≈ 3-4 retention periods
+  std::printf("after 100 us: row 1 still live=%d, refreshes=%llu, "
+              "energy so far=%s\n",
+              static_cast<int>(tcam.live(1)),
+              static_cast<unsigned long long>(tcam.ledger().refreshes),
+              util::si_format(tcam.ledger().energy, "J").c_str());
+
+  std::printf("\n== 2. Circuit-level 3T2N row (SPICE-level transaction) ==\n");
+  tcam::Nem3T2NRow row(/*width=*/16, /*array_rows=*/64,
+                       tcam::Calibration::standard());
+  const TernaryWord word("1011001010110010");
+  row.store(word);
+
+  TernaryWord key = word;
+  key[5] = (key[5] == core::Ternary::One) ? core::Ternary::Zero
+                                          : core::Ternary::One;
+  const tcam::SearchMetrics miss = row.search(key);
+  const tcam::SearchMetrics hit = row.search(word);
+  std::printf("1-bit mismatch: ML discharged in %s using %s (matched=%d)\n",
+              util::si_format(miss.latency, "s").c_str(),
+              util::si_format(miss.energy, "J").c_str(),
+              static_cast<int>(miss.matched));
+  std::printf("exact match:    ML held at %s (matched=%d)\n",
+              util::si_format(hit.ml_min, "V").c_str(),
+              static_cast<int>(hit.matched));
+
+  const tcam::RefreshMetrics r = row.one_shot_refresh();
+  std::printf("one-shot refresh: ok=%d energy=%s retention=%s power=%s\n",
+              static_cast<int>(r.ok),
+              util::si_format(r.energy_per_op, "J").c_str(),
+              util::si_format(r.retention_time, "s").c_str(),
+              util::si_format(r.refresh_power, "W").c_str());
+  return 0;
+}

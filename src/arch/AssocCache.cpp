@@ -1,0 +1,88 @@
+#include "arch/AssocCache.h"
+
+#include <algorithm>
+
+#include "util/Expect.h"
+
+namespace nemtcam::arch {
+
+using core::TernaryWord;
+
+namespace {
+
+int log2_exact(int value) {
+  NEMTCAM_EXPECT_MSG(value > 0 && (value & (value - 1)) == 0,
+                     "line size must be a power of two");
+  int shift = 0;
+  while ((1 << shift) < value) ++shift;
+  return shift;
+}
+
+}  // namespace
+
+AssocCache::AssocCache(int ways, int line_bytes, int tag_bits,
+                       core::TcamTech tech)
+    : tcam_(tech, ways, tag_bits), line_shift_(log2_exact(line_bytes)),
+      tag_bits_(tag_bits), last_used_(static_cast<std::size_t>(ways), 0),
+      occupied_(static_cast<std::size_t>(ways), false) {
+  NEMTCAM_EXPECT(tag_bits >= 1 && tag_bits <= 64);
+}
+
+std::uint64_t AssocCache::tag_of(std::uint64_t address) const {
+  const std::uint64_t tag = address >> line_shift_;
+  if (tag_bits_ >= 64) return tag;
+  return tag & ((1ull << tag_bits_) - 1ull);
+}
+
+TernaryWord AssocCache::key_of(std::uint64_t tag) const {
+  return TernaryWord::from_uint(tag, static_cast<std::size_t>(tag_bits_));
+}
+
+std::optional<int> AssocCache::find(std::uint64_t tag) {
+  return tcam_.search_first(key_of(tag));
+}
+
+bool AssocCache::access(std::uint64_t address) {
+  ++stats_.accesses;
+  ++tick_;
+  const std::uint64_t tag = tag_of(address);
+  if (const auto way = find(tag); way.has_value()) {
+    ++stats_.hits;
+    last_used_[static_cast<std::size_t>(*way)] = tick_;
+    return true;
+  }
+  // Miss: allocate into a free way, else evict LRU.
+  int victim = -1;
+  for (int w = 0; w < ways(); ++w) {
+    if (!occupied_[static_cast<std::size_t>(w)]) {
+      victim = w;
+      break;
+    }
+  }
+  if (victim < 0) {
+    victim = 0;
+    for (int w = 1; w < ways(); ++w)
+      if (last_used_[static_cast<std::size_t>(w)] <
+          last_used_[static_cast<std::size_t>(victim)])
+        victim = w;
+    ++stats_.evictions;
+  }
+  tcam_.write(victim, key_of(tag));
+  occupied_[static_cast<std::size_t>(victim)] = true;
+  last_used_[static_cast<std::size_t>(victim)] = tick_;
+  return false;
+}
+
+bool AssocCache::contains(std::uint64_t address) {
+  return find(tag_of(address)).has_value();
+}
+
+bool AssocCache::invalidate(std::uint64_t address) {
+  const auto way = find(tag_of(address));
+  if (!way.has_value()) return false;
+  tcam_.erase(*way);
+  occupied_[static_cast<std::size_t>(*way)] = false;
+  return true;
+}
+
+}  // namespace nemtcam::arch

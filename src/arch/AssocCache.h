@@ -1,0 +1,56 @@
+// Fully-associative cache tag store with TCAM lookup — the "caches" use
+// case from the paper's introduction.
+//
+// Tags live in a TCAM (exact-match entries, no wildcards); a hit returns
+// the way index in one parallel search. Replacement is LRU via timestamps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/DynamicTcam.h"
+
+namespace nemtcam::arch {
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t evictions = 0;
+  double hit_rate() const {
+    return accesses ? static_cast<double>(hits) / accesses : 0.0;
+  }
+};
+
+class AssocCache {
+ public:
+  // ways: number of TCAM rows; line_bytes must be a power of two.
+  AssocCache(int ways, int line_bytes, int tag_bits = 48,
+             core::TcamTech tech = core::TcamTech::Nem3T2N);
+
+  // Access an address; returns true on hit. Misses allocate (LRU evict).
+  bool access(std::uint64_t address);
+  // Probe without allocating or updating LRU.
+  bool contains(std::uint64_t address);
+  // Invalidate a line if present; returns true when something was removed.
+  bool invalidate(std::uint64_t address);
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  const core::TcamLedger& ledger() const { return tcam_.ledger(); }
+  int ways() const noexcept { return tcam_.rows(); }
+
+ private:
+  std::uint64_t tag_of(std::uint64_t address) const;
+  core::TernaryWord key_of(std::uint64_t tag) const;
+  std::optional<int> find(std::uint64_t tag);
+
+  core::DynamicTcam tcam_;
+  int line_shift_;
+  int tag_bits_;
+  std::vector<std::uint64_t> last_used_;
+  std::vector<bool> occupied_;
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace nemtcam::arch

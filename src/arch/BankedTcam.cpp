@@ -1,0 +1,79 @@
+#include "arch/BankedTcam.h"
+
+#include "util/Expect.h"
+
+namespace nemtcam::arch {
+
+using core::DynamicTcam;
+using core::TernaryWord;
+
+BankedTcam::BankedTcam(core::TcamTech tech, int banks, int rows_per_bank,
+                       int width)
+    : rows_per_bank_(rows_per_bank), width_(width) {
+  NEMTCAM_EXPECT(banks >= 1 && rows_per_bank >= 1 && width >= 1);
+  banks_.reserve(static_cast<std::size_t>(banks));
+  for (int b = 0; b < banks; ++b) {
+    banks_.push_back(
+        std::make_unique<DynamicTcam>(tech, rows_per_bank, width));
+    // Stagger the refresh phases: advance each bank a different fraction
+    // of the retention period before use, so their deadlines interleave.
+    const auto& costs = banks_.back()->costs();
+    if (costs.needs_refresh() && banks > 1) {
+      banks_.back()->advance(costs.retention_time() *
+                             static_cast<double>(b) / banks);
+    }
+  }
+}
+
+std::pair<int, int> BankedTcam::split(int global_row) const {
+  NEMTCAM_EXPECT(global_row >= 0 && global_row < capacity());
+  return {global_row / rows_per_bank_, global_row % rows_per_bank_};
+}
+
+void BankedTcam::write(int global_row, const TernaryWord& word) {
+  const auto [b, local] = split(global_row);
+  banks_[static_cast<std::size_t>(b)]->write(local, word);
+}
+
+void BankedTcam::erase(int global_row) {
+  const auto [b, local] = split(global_row);
+  banks_[static_cast<std::size_t>(b)]->erase(local);
+}
+
+std::vector<int> BankedTcam::search(const TernaryWord& key) {
+  std::vector<int> hits;
+  for (int b = 0; b < banks(); ++b) {
+    for (const int local : banks_[static_cast<std::size_t>(b)]->search(key))
+      hits.push_back(b * rows_per_bank_ + local);
+  }
+  return hits;
+}
+
+std::optional<int> BankedTcam::search_first(const TernaryWord& key) {
+  for (int b = 0; b < banks(); ++b) {
+    const auto hit = banks_[static_cast<std::size_t>(b)]->search_first(key);
+    if (hit.has_value()) return b * rows_per_bank_ + *hit;
+  }
+  return std::nullopt;
+}
+
+void BankedTcam::advance(double seconds) {
+  for (auto& bank : banks_) bank->advance(seconds);
+}
+
+core::TcamLedger BankedTcam::total_ledger() const {
+  core::TcamLedger total;
+  for (const auto& bank : banks_) {
+    const auto& l = bank->ledger();
+    total.writes += l.writes;
+    total.searches += l.searches;
+    total.refreshes += l.refreshes;
+    total.row_refreshes += l.row_refreshes;
+    total.retention_losses += l.retention_losses;
+    total.energy += l.energy;
+    total.busy_time += l.busy_time;
+  }
+  return total;
+}
+
+}  // namespace nemtcam::arch

@@ -1,0 +1,53 @@
+// Multi-bank TCAM: capacity scaling with staggered one-shot refresh.
+//
+// A single 3T2N array refreshes itself in one short operation, but during
+// that operation it cannot serve searches. Banking lets a large table
+// stagger the banks' refresh instants so that at most one bank is ever
+// blocked; a search that hits the refreshing bank simply waits the
+// sub-nanosecond op. Rows are striped across banks; priorities follow the
+// global row index (bank-major), so lower global indices win.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/DynamicTcam.h"
+
+namespace nemtcam::arch {
+
+class BankedTcam {
+ public:
+  BankedTcam(core::TcamTech tech, int banks, int rows_per_bank, int width);
+
+  int banks() const noexcept { return static_cast<int>(banks_.size()); }
+  int rows_per_bank() const noexcept { return rows_per_bank_; }
+  int capacity() const noexcept { return banks() * rows_per_bank_; }
+  int width() const noexcept { return width_; }
+
+  // Global-row addressing: row = bank * rows_per_bank + local.
+  void write(int global_row, const core::TernaryWord& word);
+  void erase(int global_row);
+
+  // Parallel search across banks; global row indices, ascending.
+  std::vector<int> search(const core::TernaryWord& key);
+  std::optional<int> search_first(const core::TernaryWord& key);
+
+  // Advances all banks' clocks together (staggered refreshes fire inside).
+  void advance(double seconds);
+
+  // Aggregated ledger across banks.
+  core::TcamLedger total_ledger() const;
+
+  core::DynamicTcam& bank(int i) { return *banks_.at(static_cast<std::size_t>(i)); }
+
+ private:
+  std::pair<int, int> split(int global_row) const;
+
+  int rows_per_bank_;
+  int width_;
+  std::vector<std::unique_ptr<core::DynamicTcam>> banks_;
+};
+
+}  // namespace nemtcam::arch

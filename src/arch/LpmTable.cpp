@@ -1,0 +1,103 @@
+#include "arch/LpmTable.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/Expect.h"
+
+namespace nemtcam::arch {
+
+using core::Ternary;
+using core::TernaryWord;
+
+std::uint32_t parse_ipv4(const std::string& dotted) {
+  std::istringstream is(dotted);
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    int octet = -1;
+    char dot = 0;
+    is >> octet;
+    NEMTCAM_EXPECT_MSG(!is.fail() && octet >= 0 && octet <= 255,
+                       "invalid IPv4 literal: " + dotted);
+    out = (out << 8) | static_cast<std::uint32_t>(octet);
+    if (i < 3) {
+      is >> dot;
+      NEMTCAM_EXPECT_MSG(dot == '.', "invalid IPv4 literal: " + dotted);
+    }
+  }
+  return out;
+}
+
+std::string format_ipv4(std::uint32_t addr) {
+  std::ostringstream os;
+  os << ((addr >> 24) & 0xff) << '.' << ((addr >> 16) & 0xff) << '.'
+     << ((addr >> 8) & 0xff) << '.' << (addr & 0xff);
+  return os.str();
+}
+
+LpmTable::LpmTable(int capacity, core::TcamTech tech)
+    : tcam_(tech, capacity, 32) {}
+
+TernaryWord LpmTable::key_of(std::uint32_t addr) {
+  return TernaryWord::from_uint(addr, 32);
+}
+
+TernaryWord LpmTable::word_of(const Route& r) {
+  TernaryWord w = TernaryWord::from_uint(r.prefix, 32);
+  for (int b = r.length; b < 32; ++b) w[static_cast<std::size_t>(b)] = Ternary::X;
+  return w;
+}
+
+void LpmTable::rebuild_rows(std::size_t from_index) {
+  for (std::size_t i = from_index; i < routes_.size(); ++i)
+    tcam_.write(static_cast<int>(i), word_of(routes_[i]));
+  for (std::size_t i = routes_.size();
+       i < static_cast<std::size_t>(tcam_.rows()); ++i)
+    tcam_.erase(static_cast<int>(i));
+}
+
+bool LpmTable::insert(const Route& route) {
+  NEMTCAM_EXPECT(route.length >= 0 && route.length <= 32);
+  // Normalize: zero the host bits so equality tests are well-defined.
+  Route r = route;
+  if (r.length < 32)
+    r.prefix &= r.length == 0 ? 0u : ~((1u << (32 - r.length)) - 1u);
+
+  // Replace in place when the exact prefix already exists.
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    if (routes_[i].prefix == r.prefix && routes_[i].length == r.length) {
+      routes_[i] = r;
+      tcam_.write(static_cast<int>(i), word_of(r));
+      return true;
+    }
+  }
+  if (static_cast<int>(routes_.size()) >= capacity()) return false;
+
+  // Insert before the first shorter prefix (stable within equal lengths).
+  const auto pos = std::find_if(
+      routes_.begin(), routes_.end(),
+      [&](const Route& existing) { return existing.length < r.length; });
+  const std::size_t idx = static_cast<std::size_t>(pos - routes_.begin());
+  routes_.insert(pos, r);
+  rebuild_rows(idx);
+  return true;
+}
+
+bool LpmTable::remove(std::uint32_t prefix, int length) {
+  for (std::size_t i = 0; i < routes_.size(); ++i) {
+    if (routes_[i].prefix == prefix && routes_[i].length == length) {
+      routes_.erase(routes_.begin() + static_cast<std::ptrdiff_t>(i));
+      rebuild_rows(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Route> LpmTable::lookup(std::uint32_t addr) {
+  const auto hit = tcam_.search_first(key_of(addr));
+  if (!hit.has_value()) return std::nullopt;
+  return routes_[static_cast<std::size_t>(*hit)];
+}
+
+}  // namespace nemtcam::arch

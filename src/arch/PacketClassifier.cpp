@@ -1,0 +1,93 @@
+#include "arch/PacketClassifier.h"
+
+#include "util/Expect.h"
+
+namespace nemtcam::arch {
+
+using core::Ternary;
+using core::TernaryWord;
+
+std::vector<std::pair<std::uint16_t, int>> expand_port_range(std::uint16_t lo,
+                                                             std::uint16_t hi) {
+  NEMTCAM_EXPECT(lo <= hi);
+  std::vector<std::pair<std::uint16_t, int>> out;
+  std::uint32_t cur = lo;
+  const std::uint32_t end = static_cast<std::uint32_t>(hi) + 1;
+  while (cur < end) {
+    // Largest power-of-two block starting at cur that stays within range.
+    int block = 0;  // log2 of block size
+    while (block < 16) {
+      const std::uint32_t size = 1u << (block + 1);
+      if (cur % size != 0 || cur + size > end) break;
+      ++block;
+    }
+    out.emplace_back(static_cast<std::uint16_t>(cur), 16 - block);
+    cur += 1u << block;
+  }
+  return out;
+}
+
+namespace {
+
+void put_prefix(TernaryWord& w, int offset, std::uint32_t value, int total_bits,
+                int prefix_len) {
+  for (int b = 0; b < total_bits; ++b) {
+    const auto idx = static_cast<std::size_t>(offset + b);
+    if (b < prefix_len) {
+      const std::uint32_t bit = (value >> (total_bits - 1 - b)) & 1u;
+      w[idx] = bit ? Ternary::One : Ternary::Zero;
+    } else {
+      w[idx] = Ternary::X;
+    }
+  }
+}
+
+void put_exact(TernaryWord& w, int offset, std::uint32_t value, int bits) {
+  put_prefix(w, offset, value, bits, bits);
+}
+
+}  // namespace
+
+PacketClassifier::PacketClassifier(int capacity_rows, core::TcamTech tech)
+    : tcam_(tech, capacity_rows, kKeyWidth),
+      row_action_(static_cast<std::size_t>(capacity_rows)) {}
+
+int PacketClassifier::add_rule(const ClassifierRule& rule) {
+  NEMTCAM_EXPECT(rule.src_len >= 0 && rule.src_len <= 32);
+  NEMTCAM_EXPECT(rule.dst_len >= 0 && rule.dst_len <= 32);
+  NEMTCAM_EXPECT(rule.port_lo <= rule.port_hi);
+
+  const auto port_prefixes = expand_port_range(rule.port_lo, rule.port_hi);
+  if (next_row_ + static_cast<int>(port_prefixes.size()) > tcam_.rows())
+    return 0;
+
+  for (const auto& [port_val, port_len] : port_prefixes) {
+    TernaryWord w(kKeyWidth, Ternary::X);
+    put_prefix(w, 0, rule.src_prefix, 32, rule.src_len);
+    put_prefix(w, 32, rule.dst_prefix, 32, rule.dst_len);
+    if (rule.protocol.has_value()) put_exact(w, 64, *rule.protocol, 8);
+    put_prefix(w, 72, port_val, 16, port_len);
+    tcam_.write(next_row_, w);
+    row_action_[static_cast<std::size_t>(next_row_)] = rule.action;
+    ++next_row_;
+  }
+  actions_.push_back(rule.action);
+  return static_cast<int>(port_prefixes.size());
+}
+
+TernaryWord PacketClassifier::key_of(const PacketHeader& pkt) const {
+  TernaryWord w(kKeyWidth, Ternary::Zero);
+  put_exact(w, 0, pkt.src, 32);
+  put_exact(w, 32, pkt.dst, 32);
+  put_exact(w, 64, pkt.protocol, 8);
+  put_exact(w, 72, pkt.dst_port, 16);
+  return w;
+}
+
+std::optional<std::string> PacketClassifier::classify(const PacketHeader& pkt) {
+  const auto hit = tcam_.search_first(key_of(pkt));
+  if (!hit.has_value()) return std::nullopt;
+  return row_action_[static_cast<std::size_t>(*hit)];
+}
+
+}  // namespace nemtcam::arch

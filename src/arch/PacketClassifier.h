@@ -1,0 +1,70 @@
+// Multi-field packet classifier on a ternary CAM.
+//
+// Rules match on (src prefix, dst prefix, protocol, dst-port range); port
+// ranges are expanded into the minimal set of ternary prefixes, the
+// standard TCAM range-expansion technique. First (lowest row) matching
+// rule wins, so callers insert rules in priority order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/DynamicTcam.h"
+
+namespace nemtcam::arch {
+
+struct ClassifierRule {
+  std::uint32_t src_prefix = 0;
+  int src_len = 0;               // 0 = any
+  std::uint32_t dst_prefix = 0;
+  int dst_len = 0;
+  std::optional<std::uint8_t> protocol;  // nullopt = any
+  std::uint16_t port_lo = 0;
+  std::uint16_t port_hi = 0xffff;
+  std::string action;            // e.g. "accept", "drop", "queue:3"
+};
+
+struct PacketHeader {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint8_t protocol = 0;
+  std::uint16_t dst_port = 0;
+};
+
+// Expands [lo, hi] into the minimal covering set of (value, prefix_len)
+// pairs over 16-bit ports. Exposed for tests and the classifier bench.
+std::vector<std::pair<std::uint16_t, int>> expand_port_range(std::uint16_t lo,
+                                                             std::uint16_t hi);
+
+class PacketClassifier {
+ public:
+  // Key layout: src(32) | dst(32) | proto(8) | port(16) = 88 ternary bits.
+  static constexpr int kKeyWidth = 88;
+
+  PacketClassifier(int capacity_rows,
+                   core::TcamTech tech = core::TcamTech::Nem3T2N);
+
+  // Appends a rule (lower priority than all existing ones). Returns the
+  // number of TCAM rows consumed (range expansion may need several), or 0
+  // if the table lacked space (no partial insert).
+  int add_rule(const ClassifierRule& rule);
+
+  // Classifies a packet; nullopt = no rule matched.
+  std::optional<std::string> classify(const PacketHeader& pkt);
+
+  int rows_used() const noexcept { return next_row_; }
+  int rule_count() const noexcept { return static_cast<int>(actions_.size()); }
+  const core::TcamLedger& ledger() const { return tcam_.ledger(); }
+
+ private:
+  core::TernaryWord key_of(const PacketHeader& pkt) const;
+
+  core::DynamicTcam tcam_;
+  int next_row_ = 0;
+  std::vector<std::string> row_action_;  // action per TCAM row
+  std::vector<std::string> actions_;     // one per logical rule
+};
+
+}  // namespace nemtcam::arch

@@ -1,0 +1,60 @@
+// Refresh-policy study: how much do refresh operations interfere with the
+// normal search stream?
+//
+// This is the architectural argument of the paper's introduction: a
+// conventional dynamic TCAM refreshes row by row (N blocking operations
+// per retention period, each a read + write-back), stalling search
+// traffic; one-shot refresh costs a single short operation per period.
+// The controller replays a Poisson or periodic search-request trace
+// against either policy and reports throughput, stall statistics, and
+// refresh energy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/EnergyModel.h"
+
+namespace nemtcam::arch {
+
+enum class RefreshPolicy {
+  None,       // static technology (SRAM) or decay ignored
+  RowByRow,   // N row operations spread over each retention period
+  OneShot,    // single whole-array operation per retention period
+};
+
+const char* policy_name(RefreshPolicy p);
+
+struct RefreshSimConfig {
+  core::TcamTech tech = core::TcamTech::Nem3T2N;
+  RefreshPolicy policy = RefreshPolicy::OneShot;
+  int rows = 64;
+  int width = 64;
+  double sim_time = 200e-6;         // total simulated wall-clock
+  double search_rate_hz = 100e6;    // offered search load (mean rate)
+  bool poisson_arrivals = true;     // false = perfectly periodic
+  std::uint64_t seed = 1;
+  // Row-by-row refreshes are spread uniformly over the retention period
+  // (distributed refresh), as DRAM controllers do.
+};
+
+struct RefreshSimResult {
+  std::uint64_t searches_issued = 0;
+  std::uint64_t searches_served = 0;
+  std::uint64_t refresh_ops = 0;       // row ops or one-shot ops
+  double refresh_energy = 0.0;         // J
+  double refresh_busy_time = 0.0;      // s the array was blocked refreshing
+  double total_search_wait = 0.0;      // s of queueing delay due to refresh
+  double max_search_wait = 0.0;        // s
+  double avg_search_wait() const {
+    return searches_served ? total_search_wait / searches_served : 0.0;
+  }
+  // Fraction of array time spent refreshing.
+  double refresh_duty(double sim_time) const {
+    return refresh_busy_time / sim_time;
+  }
+};
+
+RefreshSimResult simulate_refresh_interference(const RefreshSimConfig& cfg);
+
+}  // namespace nemtcam::arch

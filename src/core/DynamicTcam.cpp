@@ -1,0 +1,121 @@
+#include "core/DynamicTcam.h"
+
+#include <limits>
+
+namespace nemtcam::core {
+
+DynamicTcam::DynamicTcam(TcamTech tech, int rows, int width, bool auto_refresh)
+    : model_(rows, width), energy_model_(tech, width, rows),
+      auto_refresh_(auto_refresh),
+      charged_at_(static_cast<std::size_t>(rows),
+                  -std::numeric_limits<double>::infinity()) {
+  next_deadline_ = energy_model_.needs_refresh()
+                       ? energy_model_.retention_time()
+                       : std::numeric_limits<double>::infinity();
+}
+
+void DynamicTcam::maybe_auto_refresh(double target_time) {
+  if (!auto_refresh_ || !energy_model_.needs_refresh()) return;
+  // Insert every refresh that would have fired before target_time.
+  while (next_deadline_ <= target_time) {
+    now_ = next_deadline_;
+    one_shot_refresh();  // advances ledger + re-arms deadline
+  }
+}
+
+void DynamicTcam::expire_rows() {
+  if (!energy_model_.needs_refresh()) return;
+  // Tolerance absorbs floating-point rounding when a refresh lands exactly
+  // on the retention deadline (age == retention up to 1 ulp).
+  const double retention = energy_model_.retention_time() * (1.0 + 1e-9);
+  for (int r = 0; r < model_.rows(); ++r) {
+    const auto idx = static_cast<std::size_t>(r);
+    if (model_.valid(r) && now_ - charged_at_[idx] > retention) {
+      model_.erase(r);
+      ++ledger_.retention_losses;
+    }
+  }
+}
+
+void DynamicTcam::advance(double seconds) {
+  NEMTCAM_EXPECT(seconds >= 0.0);
+  const double target = now_ + seconds;
+  maybe_auto_refresh(target);
+  now_ = target;
+  expire_rows();
+}
+
+void DynamicTcam::write(int row, const TernaryWord& word) {
+  maybe_auto_refresh(now_);
+  expire_rows();
+  model_.write(row, word);
+  charged_at_[static_cast<std::size_t>(row)] = now_;
+  now_ += energy_model_.write_latency();
+  ledger_.busy_time += energy_model_.write_latency();
+  ledger_.energy += energy_model_.write_energy();
+  ++ledger_.writes;
+}
+
+void DynamicTcam::erase(int row) {
+  expire_rows();
+  model_.erase(row);
+}
+
+std::vector<int> DynamicTcam::search(const TernaryWord& key) {
+  maybe_auto_refresh(now_);
+  expire_rows();
+  auto hits = model_.search(key);
+  now_ += energy_model_.search_latency();
+  ledger_.busy_time += energy_model_.search_latency();
+  ledger_.energy += energy_model_.search_energy();
+  ++ledger_.searches;
+  return hits;
+}
+
+std::optional<int> DynamicTcam::search_first(const TernaryWord& key) {
+  maybe_auto_refresh(now_);
+  expire_rows();
+  auto hit = model_.search_first(key);
+  now_ += energy_model_.search_latency();
+  ledger_.busy_time += energy_model_.search_latency();
+  ledger_.energy += energy_model_.search_energy();
+  ++ledger_.searches;
+  return hit;
+}
+
+void DynamicTcam::one_shot_refresh() {
+  expire_rows();
+  // Every still-valid row is re-armed simultaneously. The next deadline is
+  // relative to the charge instant, not to the post-refresh clock —
+  // otherwise each period would silently stretch by the refresh latency
+  // and rows would expire right at the next deadline.
+  const double charge_time = now_;
+  for (int r = 0; r < model_.rows(); ++r)
+    if (model_.valid(r)) charged_at_[static_cast<std::size_t>(r)] = charge_time;
+  now_ += energy_model_.refresh_latency();
+  ledger_.busy_time += energy_model_.refresh_latency();
+  ledger_.energy += energy_model_.refresh_energy();
+  ++ledger_.refreshes;
+  if (energy_model_.needs_refresh())
+    next_deadline_ = charge_time + energy_model_.retention_time();
+}
+
+void DynamicTcam::refresh_row(int row) {
+  expire_rows();
+  if (!model_.valid(row)) return;
+  charged_at_[static_cast<std::size_t>(row)] = now_;
+  // Read + write back: approximate as one write latency/energy for the row.
+  now_ += energy_model_.write_latency();
+  ledger_.busy_time += energy_model_.write_latency();
+  ledger_.energy += energy_model_.write_energy();
+  ++ledger_.row_refreshes;
+}
+
+bool DynamicTcam::live(int row) const {
+  if (!model_.valid(row)) return false;
+  if (!energy_model_.needs_refresh()) return true;
+  return now_ - charged_at_[static_cast<std::size_t>(row)] <=
+         energy_model_.retention_time();
+}
+
+}  // namespace nemtcam::core

@@ -1,0 +1,83 @@
+#include "core/EnergyModel.h"
+
+#include "util/Expect.h"
+#include "util/Units.h"
+
+namespace nemtcam::core {
+
+using namespace nemtcam::units;
+
+const char* tech_name(TcamTech t) {
+  switch (t) {
+    case TcamTech::Sram16T: return "16T SRAM";
+    case TcamTech::Nem3T2N: return "3T2N NEM";
+    case TcamTech::Rram2T2R: return "2T2R RRAM";
+    case TcamTech::Fefet2F: return "2FeFET";
+  }
+  return "?";
+}
+
+OpCosts EnergyModel::reference(TcamTech tech) {
+  // Measured by tools/nemtcam_calibrate and bench_fig6/7 at 64×64,
+  // Calibration::standard(). Refresh figures apply to the dynamic 3T2N
+  // only.
+  switch (tech) {
+    case TcamTech::Sram16T:
+      return {0.221 * ns, 874 * fJ, 1.12 * ns, 904 * fJ, 0, 0, 0, false};
+    case TcamTech::Nem3T2N:
+      return {2.03 * ns, 312 * fJ, 0.204 * ns, 337 * fJ,
+              2.17 * pJ, 0.565 * ns, 26.7 * us, true};
+    case TcamTech::Rram2T2R:
+      return {11.3 * ns, 74.8 * pJ, 0.325 * ns, 272 * fJ, 0, 0, 0, true};
+    case TcamTech::Fefet2F:
+      return {9.54 * ns, 7.8 * pJ, 0.746 * ns, 233 * fJ, 0, 0, 0, true};
+  }
+  NEMTCAM_EXPECT_MSG(false, "unknown TcamTech");
+  return {};
+}
+
+EnergyModel::EnergyModel(TcamTech tech, int width, int rows)
+    : tech_(tech), width_(width), rows_(rows), ref_(reference(tech)) {
+  NEMTCAM_EXPECT(width >= 1 && rows >= 1);
+}
+
+double EnergyModel::write_latency() const {
+  if (ref_.write_latency_device_limited) return ref_.write_latency;
+  // SRAM flip time grows mildly with bitline height; keep the reference.
+  return ref_.write_latency;
+}
+
+double EnergyModel::write_energy() const {
+  // Lines per row and bitline height both scale energy.
+  const double width_scale = static_cast<double>(width_) / 64.0;
+  const double height_scale = static_cast<double>(rows_) / 64.0;
+  return ref_.write_energy * width_scale * height_scale;
+}
+
+double EnergyModel::search_latency() const {
+  // ML capacitance (and so the discharge time) scales with row width.
+  return ref_.search_latency * static_cast<double>(width_) / 64.0;
+}
+
+double EnergyModel::search_energy() const {
+  const double width_scale = static_cast<double>(width_) / 64.0;
+  const double height_scale = static_cast<double>(rows_) / 64.0;
+  return ref_.search_energy * width_scale * height_scale;
+}
+
+double EnergyModel::refresh_energy() const {
+  const double cells_scale =
+      static_cast<double>(width_) * rows_ / (64.0 * 64.0);
+  return ref_.refresh_energy * cells_scale;
+}
+
+double EnergyModel::refresh_latency() const { return ref_.refresh_latency; }
+
+double EnergyModel::retention_time() const { return ref_.retention_time; }
+
+double EnergyModel::refresh_power() const {
+  if (!needs_refresh()) return 0.0;
+  return refresh_energy() / retention_time();
+}
+
+}  // namespace nemtcam::core

@@ -1,0 +1,40 @@
+#include "core/PriorityEncoder.h"
+
+#include "util/Expect.h"
+
+namespace nemtcam::core {
+
+std::optional<int> PriorityEncoder::first_match(const std::vector<bool>& matches) {
+  for (std::size_t i = 0; i < matches.size(); ++i)
+    if (matches[i]) return static_cast<int>(i);
+  return std::nullopt;
+}
+
+std::vector<int> PriorityEncoder::all_matches(const std::vector<bool>& matches) {
+  std::vector<int> hits;
+  for (std::size_t i = 0; i < matches.size(); ++i)
+    if (matches[i]) hits.push_back(static_cast<int>(i));
+  return hits;
+}
+
+std::vector<int> PriorityEncoder::top_k(const std::vector<bool>& matches, int k) {
+  NEMTCAM_EXPECT(k >= 0);
+  std::vector<int> hits;
+  for (std::size_t i = 0; i < matches.size() && static_cast<int>(hits.size()) < k;
+       ++i)
+    if (matches[i]) hits.push_back(static_cast<int>(i));
+  return hits;
+}
+
+std::vector<bool> PriorityEncoder::from_indices(const std::vector<int>& hits,
+                                                int rows) {
+  NEMTCAM_EXPECT(rows >= 0);
+  std::vector<bool> v(static_cast<std::size_t>(rows), false);
+  for (int h : hits) {
+    NEMTCAM_EXPECT(h >= 0 && h < rows);
+    v[static_cast<std::size_t>(h)] = true;
+  }
+  return v;
+}
+
+}  // namespace nemtcam::core

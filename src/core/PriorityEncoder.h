@@ -1,0 +1,28 @@
+// Matchline priority encoder — the block that turns the per-row match
+// vector of a CAM array into a single address (plus multi-match survey
+// helpers used by the classifier engine).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nemtcam::core {
+
+class PriorityEncoder {
+ public:
+  // Lowest index wins (row 0 is the highest priority, as in routing TCAMs
+  // where longer prefixes are placed first).
+  static std::optional<int> first_match(const std::vector<bool>& matches);
+
+  // All matches, ascending priority order.
+  static std::vector<int> all_matches(const std::vector<bool>& matches);
+
+  // The k highest-priority matches (fewer if there aren't k).
+  static std::vector<int> top_k(const std::vector<bool>& matches, int k);
+
+  // Builds a match bitvector of the given size from hit indices.
+  static std::vector<bool> from_indices(const std::vector<int>& hits, int rows);
+};
+
+}  // namespace nemtcam::core

@@ -1,0 +1,68 @@
+#include "core/Ternary.h"
+
+namespace nemtcam::core {
+
+char to_char(Ternary t) {
+  switch (t) {
+    case Ternary::Zero: return '0';
+    case Ternary::One: return '1';
+    case Ternary::X: return 'X';
+  }
+  return '?';
+}
+
+Ternary ternary_from_char(char c) {
+  switch (c) {
+    case '0': return Ternary::Zero;
+    case '1': return Ternary::One;
+    case 'x':
+    case 'X':
+    case '*': return Ternary::X;
+    default:
+      NEMTCAM_EXPECT_MSG(false, std::string("invalid ternary character '") + c + "'");
+  }
+  return Ternary::X;  // unreachable
+}
+
+TernaryWord::TernaryWord(const std::string& text) {
+  bits_.reserve(text.size());
+  for (char c : text) bits_.push_back(ternary_from_char(c));
+}
+
+TernaryWord TernaryWord::from_uint(std::uint64_t value, std::size_t width) {
+  NEMTCAM_EXPECT(width <= 64);
+  TernaryWord w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::uint64_t bit = (value >> (width - 1 - i)) & 1u;
+    w.bits_[i] = bit ? Ternary::One : Ternary::Zero;
+  }
+  return w;
+}
+
+bool TernaryWord::matches(const TernaryWord& key) const {
+  return mismatch_count(key) == 0;
+}
+
+std::size_t TernaryWord::mismatch_count(const TernaryWord& key) const {
+  NEMTCAM_EXPECT_MSG(key.size() == size(), "key width must equal word width");
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < size(); ++i)
+    if (!ternary_matches(bits_[i], key[i])) ++n;
+  return n;
+}
+
+std::size_t TernaryWord::count_x() const {
+  std::size_t n = 0;
+  for (Ternary t : bits_)
+    if (t == Ternary::X) ++n;
+  return n;
+}
+
+std::string TernaryWord::to_string() const {
+  std::string s;
+  s.reserve(size());
+  for (Ternary t : bits_) s.push_back(to_char(t));
+  return s;
+}
+
+}  // namespace nemtcam::core

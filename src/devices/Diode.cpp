@@ -1,0 +1,46 @@
+#include "devices/Diode.h"
+
+#include <cmath>
+
+#include "devices/Passive.h"
+
+namespace nemtcam::devices {
+
+namespace {
+constexpr double kThermalVoltage = 0.02585;
+}
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode), params_(params) {
+  NEMTCAM_EXPECT(params_.i_sat > 0.0);
+  NEMTCAM_EXPECT(params_.n_ideality >= 1.0);
+}
+
+double Diode::current_at(double v) const {
+  const double nvt = params_.n_ideality * kThermalVoltage;
+  // Exponent guard: beyond ~40·nvt, linearize to avoid overflow (the
+  // Newton damping keeps iterates from ever operating there anyway).
+  const double x = v / nvt;
+  if (x > 40.0)
+    return params_.i_sat * (std::exp(40.0) * (1.0 + (x - 40.0)) - 1.0);
+  return params_.i_sat * (std::exp(x) - 1.0);
+}
+
+void Diode::stamp(Stamper& s, const StampContext& ctx) {
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  const double nvt = params_.n_ideality * kThermalVoltage;
+  const double i = current_at(v);
+  const double x = v / nvt;
+  const double g = (x > 40.0)
+                       ? params_.i_sat * std::exp(40.0) / nvt
+                       : params_.i_sat * std::exp(x) / nvt;
+  s.nonlinear_current(anode_, cathode_, i, g, v);
+  stamp_linear_cap(s, ctx, anode_, cathode_, params_.c_junction);
+}
+
+double Diode::power(const StampContext& ctx) const {
+  const double v = ctx.v(anode_) - ctx.v(cathode_);
+  return v * current_at(v);
+}
+
+}  // namespace nemtcam::devices

@@ -1,0 +1,37 @@
+// Junction diode (Shockley model with optional series resistance and
+// junction capacitance) — completes the simulator's elementary device set
+// and models the well/junction clamps in peripheral circuits.
+#pragma once
+
+#include "spice/Device.h"
+#include "spice/Stamper.h"
+
+namespace nemtcam::devices {
+
+using spice::Device;
+using spice::NodeId;
+using spice::StampContext;
+using spice::Stamper;
+
+struct DiodeParams {
+  double i_sat = 1e-15;   // saturation current (A)
+  double n_ideality = 1.0;
+  double c_junction = 0.0;  // zero-bias junction capacitance (F), linearized
+};
+
+class Diode final : public Device {
+ public:
+  Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params = {});
+
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  double power(const StampContext& ctx) const override;
+
+  // Diode current at a given forward voltage (model evaluation, for tests).
+  double current_at(double v) const;
+
+ private:
+  NodeId anode_, cathode_;
+  DiodeParams params_;
+};
+
+}  // namespace nemtcam::devices

@@ -1,0 +1,70 @@
+#include "devices/Fefet.h"
+
+#include <algorithm>
+
+#include "devices/Passive.h"
+
+namespace nemtcam::devices {
+
+Fefet::Fefet(std::string name, NodeId d, NodeId g, NodeId s, FefetParams params)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params) {
+  NEMTCAM_EXPECT(params_.vth_low < params_.vth_high);
+  NEMTCAM_EXPECT(params_.v_coercive < params_.v_write);
+  NEMTCAM_EXPECT(params_.t_write > 0.0);
+}
+
+double Fefet::vth_eff() const noexcept {
+  const double mid = 0.5 * (params_.vth_low + params_.vth_high);
+  const double half_span = 0.5 * (params_.vth_high - params_.vth_low);
+  return mid - p_ * half_span;
+}
+
+void Fefet::stamp(Stamper& s, const StampContext& ctx) {
+  const double vg = ctx.v(g_);
+  const double vd = ctx.v(d_);
+  const double vs = ctx.v(s_);
+  const MosEval e = ekv_eval(params_.fet, vth_eff(), vg, vd, vs);
+
+  s.vccs(d_, s_, g_, spice::kGround, e.g_vg);
+  s.vccs(d_, s_, d_, spice::kGround, e.g_vd);
+  s.vccs(d_, s_, s_, spice::kGround, e.g_vs);
+  s.current(d_, s_, e.ids - (e.g_vg * vg + e.g_vd * vd + e.g_vs * vs));
+
+  // Ferroelectric gate stack plus the FET's own parasitics.
+  stamp_linear_cap(s, ctx, g_, s_, params_.c_fe + params_.fet.cgs);
+  stamp_linear_cap(s, ctx, g_, d_, params_.fet.cgd);
+  stamp_linear_cap(s, ctx, d_, spice::kGround, params_.fet.cdb);
+  stamp_linear_cap(s, ctx, s_, spice::kGround, params_.fet.csb);
+}
+
+void Fefet::commit(const StampContext& ctx) {
+  const double vgs = ctx.v(g_) - ctx.v(s_);
+  const double dt = ctx.dt();
+  const double vc = params_.v_coercive;
+  const double p_before = p_;
+  if (vgs > vc) {
+    const double rate = (vgs - vc) / (params_.v_write - vc);
+    p_ += rate * dt / params_.t_write * 2.0;  // full swing is 2 (−1 → +1)
+  } else if (vgs < -vc) {
+    const double rate = (-vgs - vc) / (params_.v_write - vc);
+    p_ -= rate * dt / params_.t_write * 2.0;
+  }
+  p_ = std::clamp(p_, -1.0, 1.0);
+  if (p_before < 0.9 && p_ >= 0.9) t_program_ = ctx.t();
+  if (p_before > -0.9 && p_ <= -0.9) t_erase_ = ctx.t();
+}
+
+double Fefet::max_dt_hint() const { return params_.t_write / 200.0; }
+
+double Fefet::power(const StampContext& ctx) const {
+  const MosEval e =
+      ekv_eval(params_.fet, vth_eff(), ctx.v(g_), ctx.v(d_), ctx.v(s_));
+  return e.ids * (ctx.v(d_) - ctx.v(s_));
+}
+
+void Fefet::set_polarization(double p) {
+  NEMTCAM_EXPECT(p >= -1.0 && p <= 1.0);
+  p_ = p;
+}
+
+}  // namespace nemtcam::devices

@@ -1,0 +1,61 @@
+// Ferroelectric FET compact model (2FeFET TCAM baseline).
+//
+// A MOSFET whose effective threshold is shifted by the ferroelectric
+// polarization P ∈ [−1, +1]:
+//     V_th,eff = V_th,mid − P·(V_th,high − V_th,low)/2.
+// P moves only when |V_GS| exceeds the coercive voltage, at a rate
+// proportional to the overdrive, saturating at ±1 — the envelope of the
+// Preisach model of Ni et al. [11], which is exact for the full-swing
+// ±4 V / 10 ns write pulses TCAM programming uses (no minor loops).
+// The high write voltage is what makes the FeFET TCAM's write energy
+// large: the bitline parasitics charge to 4 V instead of 1 V.
+#pragma once
+
+#include "devices/Mosfet.h"
+
+namespace nemtcam::devices {
+
+struct FefetParams {
+  MosfetParams fet = MosfetParams::nmos_lp();
+  // Memory-window thresholds (Ni et al. [11]-style FeFET: ~1 V window
+  // centred above VDD/2 so the HVT state is fully off at a VDD=1 V gate
+  // and the LVT state conducts with moderate overdrive).
+  double vth_low = 0.58;    // threshold in the low-V_th (erased, P=+1) state
+  double vth_high = 1.58;   // threshold in the high-V_th (programmed, P=−1) state
+  double v_coercive = 2.0;  // no polarization motion below this |V_GS| (V)
+  double v_write = 4.0;     // nominal write drive (V)
+  double t_write = 10e-9;   // polarization transition time at ±v_write (s)
+  double c_fe = 0.05e-15;    // ferroelectric gate stack capacitance (F)
+};
+
+class Fefet final : public Device {
+ public:
+  Fefet(std::string name, NodeId d, NodeId g, NodeId s, FefetParams params = {});
+
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  void commit(const StampContext& ctx) override;
+  double max_dt_hint() const override;
+  double power(const StampContext& ctx) const override;
+
+  double polarization() const noexcept { return p_; }
+  void set_polarization(double p);
+  // Simulation time at which polarization last crossed ±0.9 (write-latency
+  // telemetry); negative if never.
+  double t_program_complete() const noexcept { return t_program_; }
+  double t_erase_complete() const noexcept { return t_erase_; }
+  // Convenience: P=+1 (low V_th, conducts at VDD gate) or −1 (high V_th).
+  void set_low_vth(bool low) { set_polarization(low ? 1.0 : -1.0); }
+  double vth_eff() const noexcept;
+  bool is_low_vth() const noexcept { return p_ > 0.0; }
+
+  const FefetParams& params() const noexcept { return params_; }
+
+ private:
+  NodeId d_, g_, s_;
+  FefetParams params_;
+  double p_ = -1.0;  // polarization state
+  double t_program_ = -1.0;
+  double t_erase_ = -1.0;
+};
+
+}  // namespace nemtcam::devices

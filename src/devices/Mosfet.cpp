@@ -1,0 +1,130 @@
+#include "devices/Mosfet.h"
+
+#include <cmath>
+
+#include "devices/Passive.h"
+
+namespace nemtcam::devices {
+
+namespace {
+
+constexpr double kThermalVoltage = 0.02585;  // v_T at 300 K
+
+// softplus(x) = ln(1 + e^x) with overflow guard; also returns sigmoid(x)
+// (its derivative).
+struct Softplus {
+  double value;
+  double derivative;
+};
+
+Softplus softplus(double x) {
+  if (x > 40.0) return {x, 1.0};
+  if (x < -40.0) {
+    const double e = std::exp(x);
+    return {e, e};
+  }
+  const double e = std::exp(x);
+  return {std::log1p(e), e / (1.0 + e)};
+}
+
+// F(x) = ln(1 + e^{x/2})², F'(x) = ln(1 + e^{x/2})·sigmoid(x/2).
+struct FEval {
+  double value;
+  double derivative;
+};
+
+FEval charge_fn(double x) {
+  const Softplus sp = softplus(0.5 * x);
+  return {sp.value * sp.value, sp.value * sp.derivative};
+}
+
+}  // namespace
+
+MosfetParams MosfetParams::nmos_lp(double width_scale) {
+  MosfetParams p;
+  p.type = MosType::Nmos;
+  p.vth = 0.46;
+  p.kp = 3.0e-4 * width_scale;
+  p.n_slope = 1.35;
+  // Minimal-size 45 nm device capacitances (gate ≈ W·L·Cox ≈ 0.18 fF plus
+  // overlap, junctions ≈ 0.08 fF), scaled with width.
+  p.cgs = 90e-18 * width_scale;
+  p.cgd = 90e-18 * width_scale;
+  p.cdb = 40e-18 * width_scale;
+  p.csb = 40e-18 * width_scale;
+  return p;
+}
+
+MosfetParams MosfetParams::pmos_lp(double width_scale) {
+  MosfetParams p = nmos_lp(width_scale);
+  p.type = MosType::Pmos;
+  p.vth = 0.49;
+  p.kp = 1.4e-4 * width_scale;  // hole mobility penalty
+  return p;
+}
+
+MosEval ekv_eval(const MosfetParams& p, double vth_eff, double v_g, double v_d,
+                 double v_s) {
+  // For PMOS, mirror all voltages and negate the current.
+  const double sign = (p.type == MosType::Nmos) ? 1.0 : -1.0;
+  const double vg = sign * v_g;
+  const double vd = sign * v_d;
+  const double vs = sign * v_s;
+
+  const double nvt = p.n_slope * kThermalVoltage;
+  const double i_spec = 2.0 * p.n_slope * kThermalVoltage * kThermalVoltage * p.kp;
+
+  const FEval ff = charge_fn((vg - vs - vth_eff) / nvt);
+  const FEval fr = charge_fn((vg - vd - vth_eff) / nvt);
+
+  MosEval e;
+  const double ids = i_spec * (ff.value - fr.value);
+  const double a = i_spec * ff.derivative / nvt;  // ∂/∂(vg−vs)
+  const double b = i_spec * fr.derivative / nvt;  // ∂/∂(vg−vd)
+  // In mirrored coordinates: ∂ids/∂vg = a − b, ∂ids/∂vd = b, ∂ids/∂vs = −a.
+  // Mapping back: ids_real = sign·ids(sign·v). ∂ids_real/∂v_real =
+  // sign·∂ids/∂v_mirr·sign = ∂ids/∂v_mirr.
+  e.ids = sign * ids;
+  e.g_vg = a - b;
+  e.g_vd = b;
+  e.g_vs = -a;
+  return e;
+}
+
+Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s,
+               MosfetParams params)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params) {
+  NEMTCAM_EXPECT(params_.kp > 0.0);
+  NEMTCAM_EXPECT(params_.n_slope >= 1.0);
+}
+
+void Mosfet::stamp(Stamper& s, const StampContext& ctx) {
+  const double vg = ctx.v(g_);
+  const double vd = ctx.v(d_);
+  const double vs = ctx.v(s_);
+  const MosEval e = ekv_eval(params_, params_.vth, vg, vd, vs);
+
+  // Jacobian of the D→S current w.r.t. the three terminal voltages.
+  s.vccs(d_, s_, g_, spice::kGround, e.g_vg);
+  s.vccs(d_, s_, d_, spice::kGround, e.g_vd);
+  s.vccs(d_, s_, s_, spice::kGround, e.g_vs);
+  // Equivalent current so that J·v − f is stamped consistently.
+  const double i_lin = e.g_vg * vg + e.g_vd * vd + e.g_vs * vs;
+  s.current(d_, s_, e.ids - i_lin);
+
+  stamp_linear_cap(s, ctx, g_, s_, params_.cgs);
+  stamp_linear_cap(s, ctx, g_, d_, params_.cgd);
+  stamp_linear_cap(s, ctx, d_, spice::kGround, params_.cdb);
+  stamp_linear_cap(s, ctx, s_, spice::kGround, params_.csb);
+}
+
+double Mosfet::power(const StampContext& ctx) const {
+  const MosEval e = ekv_eval(params_, params_.vth, ctx.v(g_), ctx.v(d_), ctx.v(s_));
+  return e.ids * (ctx.v(d_) - ctx.v(s_));
+}
+
+double Mosfet::ids(const StampContext& ctx) const {
+  return ekv_eval(params_, params_.vth, ctx.v(g_), ctx.v(d_), ctx.v(s_)).ids;
+}
+
+}  // namespace nemtcam::devices

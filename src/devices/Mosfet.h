@@ -1,0 +1,69 @@
+// Compact MOSFET model (simplified EKV) with PTM-45nm-LP-like defaults.
+//
+// The charge-sheet interpolation
+//   Ids = Is·[F(x_f) − F(x_r)],  F(x) = ln(1 + e^{x/2})²,
+//   x_f = (V_GS − V_th)/(n·v_T),  x_r = (V_GD − V_th)/(n·v_T),
+//   Is  = 2·n·v_T²·kp
+// is smooth across subthreshold / triode / saturation (good Newton
+// behaviour), symmetric in drain/source (pass-gate correct), and gives a
+// physical exponential subthreshold leak — which is what sets the dynamic
+// TCAM's retention time, so it matters here.
+#pragma once
+
+#include "spice/Device.h"
+#include "spice/Stamper.h"
+
+namespace nemtcam::devices {
+
+using spice::Device;
+using spice::NodeId;
+using spice::StampContext;
+using spice::Stamper;
+
+enum class MosType { Nmos, Pmos };
+
+struct MosfetParams {
+  MosType type = MosType::Nmos;
+  double vth = 0.46;       // |threshold| (V); PTM 45 nm LP-like
+  double kp = 3.0e-4;      // transconductance µCox·W/L (A/V²)
+  double n_slope = 1.35;   // subthreshold slope factor
+  double cgs = 0.0;        // gate-source capacitance (F)
+  double cgd = 0.0;        // gate-drain capacitance (F)
+  double cdb = 0.0;        // drain-bulk junction capacitance to ground (F)
+  double csb = 0.0;        // source-bulk junction capacitance to ground (F)
+
+  static MosfetParams nmos_lp(double width_scale = 1.0);
+  static MosfetParams pmos_lp(double width_scale = 1.0);
+};
+
+// Evaluated drain current and partial derivatives (NMOS sign convention:
+// current flows D→S when positive).
+struct MosEval {
+  double ids = 0.0;
+  double g_vg = 0.0;  // ∂Ids/∂v_G
+  double g_vd = 0.0;  // ∂Ids/∂v_D
+  double g_vs = 0.0;  // ∂Ids/∂v_S
+};
+
+// Pure model evaluation given terminal voltages (shared with Fefet, which
+// substitutes a polarization-dependent threshold).
+MosEval ekv_eval(const MosfetParams& p, double vth_eff, double v_g, double v_d,
+                 double v_s);
+
+class Mosfet final : public Device {
+ public:
+  Mosfet(std::string name, NodeId d, NodeId g, NodeId s, MosfetParams params);
+
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  double power(const StampContext& ctx) const override;
+
+  const MosfetParams& params() const noexcept { return params_; }
+  // Drain current at the given context (telemetry / tests).
+  double ids(const StampContext& ctx) const;
+
+ private:
+  NodeId d_, g_, s_;
+  MosfetParams params_;
+};
+
+}  // namespace nemtcam::devices

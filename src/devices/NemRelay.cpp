@@ -1,0 +1,117 @@
+#include "devices/NemRelay.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nemtcam::devices {
+
+NemRelay::NemRelay(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
+                   NemRelayParams params)
+    : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), params_(params) {
+  NEMTCAM_EXPECT(params_.v_po < params_.v_pi);
+  NEMTCAM_EXPECT(params_.c_on >= params_.c_off && params_.c_off > 0.0);
+  NEMTCAM_EXPECT(params_.r_on > 0.0 && params_.g_off >= 0.0);
+  NEMTCAM_EXPECT(params_.tau_mech > 0.0);
+}
+
+double NemRelay::gate_capacitance() const noexcept {
+  return params_.c_off + (params_.c_on - params_.c_off) * position_;
+}
+
+double NemRelay::effective_vgb(double v_gb) const {
+  return params_.bipolar_actuation ? std::fabs(v_gb) : v_gb;
+}
+
+void NemRelay::stamp(Stamper& s, const StampContext& ctx) {
+  // Drain–source contact.
+  const double g_ds = contact() ? 1.0 / params_.r_on : params_.g_off;
+  s.conductance(d_, s_, g_ds);
+
+  // Gate–body leakage, if configured.
+  if (params_.gate_leak_g > 0.0) s.conductance(g_, b_, params_.gate_leak_g);
+
+  if (ctx.dc()) return;
+
+  // Charge-based companion for the position-dependent gate capacitance:
+  //   i = (C(z)·v_gb − q_prev)/dt
+  // where q_prev is the committed charge. When z changed last commit, the
+  // mismatch between C(z_new)·v and q_prev drives the physically correct
+  // redistribution current (or, on a floating node, a voltage change at
+  // constant charge).
+  const double c = gate_capacitance();
+  const double g = c / ctx.dt();
+  const double v_gb = ctx.v(g_) - ctx.v(b_);
+  const double i = (c * v_gb - q_gb_) / ctx.dt();
+  s.nonlinear_current(g_, b_, i, g, v_gb);
+}
+
+void NemRelay::commit(const StampContext& ctx) {
+  const double v_now = effective_vgb(ctx.v(g_) - ctx.v(b_));
+  const double v_before = effective_vgb(ctx.v_prev(g_) - ctx.v_prev(b_));
+  const double dt = ctx.dt();
+
+  // Update the gate charge to be consistent with the capacitance used in
+  // this step's stamp (charge the solved current actually delivered).
+  q_gb_ = gate_capacitance() * (ctx.v(g_) - ctx.v(b_));
+
+  // Hysteretic target update with sub-step crossing interpolation: the
+  // portion of the step spent past a threshold drives the beam.
+  auto crossing_fraction = [&](double level, bool rising) -> double {
+    // Fraction of the step during which the signal is beyond `level`.
+    const bool before = rising ? (v_before >= level) : (v_before <= level);
+    const bool after = rising ? (v_now >= level) : (v_now <= level);
+    if (before && after) return 1.0;
+    if (!before && !after) return 0.0;
+    const double span = v_now - v_before;
+    if (span == 0.0) return after ? 1.0 : 0.0;
+    const double frac_at_cross = (level - v_before) / span;
+    return after ? (1.0 - frac_at_cross) : frac_at_cross;
+  };
+
+  double drive_time = 0.0;  // signed: + toward closed, − toward open
+  const double f_in = crossing_fraction(params_.v_pi, /*rising=*/true);
+  const double f_out = crossing_fraction(params_.v_po, /*rising=*/false);
+  if (f_in > 0.0) {
+    target_closed_ = true;
+    drive_time = f_in * dt;
+  } else if (f_out > 0.0) {
+    target_closed_ = false;
+    drive_time = -f_out * dt;
+  } else {
+    // Inside the hysteresis window the electrostatic force holds the beam
+    // only past the pull-in instability point: beyond z_critical it
+    // continues to (or stays at) contact, before it the spring returns it
+    // to rest. A short actuation glitch therefore cannot flip the cell.
+    target_closed_ = position_ >= params_.z_critical;
+    drive_time = target_closed_ ? dt : -dt;
+  }
+
+  const double pos_before = position_;
+  position_ += drive_time / params_.tau_mech;
+  position_ = std::clamp(position_, 0.0, 1.0);
+  if (pos_before < 1.0 && position_ >= 1.0) t_closed_ = ctx.t();
+  if (pos_before > 0.0 && position_ <= 0.0) t_opened_ = ctx.t();
+}
+
+double NemRelay::max_dt_hint() const {
+  // Resolve the traversal while the beam is in flight toward a different
+  // state; otherwise leave the step free.
+  const bool at_rest = (position_ <= 0.0 && !target_closed_) ||
+                       (position_ >= 1.0 && target_closed_);
+  if (at_rest) return std::numeric_limits<double>::infinity();
+  return params_.tau_mech / 50.0;
+}
+
+double NemRelay::power(const StampContext& ctx) const {
+  const double v_ds = ctx.v(d_) - ctx.v(s_);
+  const double g_ds = contact() ? 1.0 / params_.r_on : params_.g_off;
+  return v_ds * v_ds * g_ds;
+}
+
+void NemRelay::set_state(bool closed, double v_gb) {
+  position_ = closed ? 1.0 : 0.0;
+  target_closed_ = closed;
+  q_gb_ = gate_capacitance() * v_gb;
+}
+
+}  // namespace nemtcam::devices

@@ -1,0 +1,65 @@
+#include "devices/Passive.h"
+
+namespace nemtcam::devices {
+
+Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
+    : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {
+  NEMTCAM_EXPECT(ohms_ > 0.0);
+}
+
+void Resistor::stamp(Stamper& s, const StampContext&) {
+  s.conductance(a_, b_, 1.0 / ohms_);
+}
+
+double Resistor::power(const StampContext& ctx) const {
+  const double v = ctx.v(a_) - ctx.v(b_);
+  return v * v / ohms_;
+}
+
+void Resistor::set_resistance(double ohms) {
+  NEMTCAM_EXPECT(ohms > 0.0);
+  ohms_ = ohms;
+}
+
+Capacitor::Capacitor(std::string name, NodeId a, NodeId b, double farads)
+    : Device(std::move(name)), a_(a), b_(b), farads_(farads) {
+  NEMTCAM_EXPECT(farads_ >= 0.0);
+}
+
+double Capacitor::current_at(const StampContext& ctx) const {
+  const double v_ab = ctx.v(a_) - ctx.v(b_);
+  const double v_ab_prev = ctx.v_prev(a_) - ctx.v_prev(b_);
+  if (ctx.integrator() == spice::Integrator::Trapezoidal)
+    return 2.0 * farads_ / ctx.dt() * (v_ab - v_ab_prev) - i_prev_;
+  return farads_ / ctx.dt() * (v_ab - v_ab_prev);
+}
+
+void Capacitor::stamp(Stamper& s, const StampContext& ctx) {
+  if (ctx.dc() || farads_ == 0.0) return;
+  const bool trap = ctx.integrator() == spice::Integrator::Trapezoidal;
+  const double g = (trap ? 2.0 : 1.0) * farads_ / ctx.dt();
+  const double v_ab = ctx.v(a_) - ctx.v(b_);
+  s.nonlinear_current(a_, b_, current_at(ctx), g, v_ab);
+}
+
+void Capacitor::commit(const StampContext& ctx) {
+  if (ctx.dc() || farads_ == 0.0) return;
+  i_prev_ = current_at(ctx);
+}
+
+double Capacitor::stored_energy(const StampContext& ctx) const {
+  const double v = ctx.v(a_) - ctx.v(b_);
+  return 0.5 * farads_ * v * v;
+}
+
+void stamp_linear_cap(Stamper& s, const StampContext& ctx, NodeId a, NodeId b,
+                      double farads) {
+  if (ctx.dc() || farads == 0.0) return;  // open in DC
+  const double g = farads / ctx.dt();
+  const double v_ab = ctx.v(a) - ctx.v(b);
+  const double v_ab_prev = ctx.v_prev(a) - ctx.v_prev(b);
+  const double i = g * (v_ab - v_ab_prev);
+  s.nonlinear_current(a, b, i, g, v_ab);
+}
+
+}  // namespace nemtcam::devices

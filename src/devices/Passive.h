@@ -1,0 +1,57 @@
+// Linear passive elements: resistor and capacitor.
+#pragma once
+
+#include "spice/Device.h"
+#include "spice/Stamper.h"
+
+namespace nemtcam::devices {
+
+using spice::Device;
+using spice::NodeId;
+using spice::StampContext;
+using spice::Stamper;
+
+class Resistor final : public Device {
+ public:
+  Resistor(std::string name, NodeId a, NodeId b, double ohms);
+
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  double power(const StampContext& ctx) const override;
+
+  double resistance() const noexcept { return ohms_; }
+  void set_resistance(double ohms);
+
+ private:
+  NodeId a_, b_;
+  double ohms_;
+};
+
+// Linear capacitor. Backward Euler uses the previous accepted voltage
+// directly (i = C·(v − v_prev)/dt); trapezoidal additionally carries the
+// previous step's current (i = 2C·(v − v_prev)/dt − i_prev) for
+// second-order accuracy. Open in DC analysis.
+class Capacitor final : public Device {
+ public:
+  Capacitor(std::string name, NodeId a, NodeId b, double farads);
+
+  void stamp(Stamper& s, const StampContext& ctx) override;
+  void commit(const StampContext& ctx) override;
+
+  double capacitance() const noexcept { return farads_; }
+  // Stored energy at the iterate, E = C·v²/2 (for ledgers/tests).
+  double stored_energy(const StampContext& ctx) const;
+
+ private:
+  double current_at(const StampContext& ctx) const;
+
+  NodeId a_, b_;
+  double farads_;
+  double i_prev_ = 0.0;  // used by the trapezoidal companion
+};
+
+// Shared helper: stamps the BE companion of a fixed linear capacitance
+// between two nodes (used by MOSFET/FeFET internal capacitances).
+void stamp_linear_cap(Stamper& s, const StampContext& ctx, NodeId a, NodeId b,
+                      double farads);
+
+}  // namespace nemtcam::devices

@@ -1,0 +1,61 @@
+#include "devices/Rram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nemtcam::devices {
+
+Rram::Rram(std::string name, NodeId top, NodeId bottom, RramParams params)
+    : Device(std::move(name)), top_(top), bottom_(bottom), params_(params) {
+  NEMTCAM_EXPECT(params_.r_on > 0.0 && params_.r_off > params_.r_on);
+  NEMTCAM_EXPECT(params_.vth_set < params_.v_set);
+  NEMTCAM_EXPECT(params_.vth_reset < params_.v_reset);
+  NEMTCAM_EXPECT(params_.t_write > 0.0);
+}
+
+double Rram::resistance() const noexcept {
+  const double g_on = 1.0 / params_.r_on;
+  const double g_off = 1.0 / params_.r_off;
+  const double g = g_off + (g_on - g_off) * std::pow(w_, params_.shape_exp);
+  return 1.0 / g;
+}
+
+void Rram::stamp(Stamper& s, const StampContext&) {
+  s.conductance(top_, bottom_, 1.0 / resistance());
+}
+
+void Rram::commit(const StampContext& ctx) {
+  const double v = ctx.v(top_) - ctx.v(bottom_);
+  const double dt = ctx.dt();
+  const double w_before = w_;
+  if (v > params_.vth_set) {
+    const double rate =
+        (v - params_.vth_set) / (params_.v_set - params_.vth_set);
+    w_ += rate * dt / params_.t_write;
+  } else if (v < -params_.vth_reset) {
+    const double rate =
+        (-v - params_.vth_reset) / (params_.v_reset - params_.vth_reset);
+    w_ -= rate * dt / params_.t_write;
+  }
+  w_ = std::clamp(w_, 0.0, 1.0);
+  if (w_before < 0.9 && w_ >= 0.9) t_set_ = ctx.t();
+  if (w_before > 0.1 && w_ <= 0.1) t_reset_ = ctx.t();
+}
+
+double Rram::max_dt_hint() const {
+  // Resolve state transitions; 1/200 of the write time keeps the filament
+  // trajectory smooth without slowing search-scale simulations much.
+  return params_.t_write / 200.0;
+}
+
+double Rram::power(const StampContext& ctx) const {
+  const double v = ctx.v(top_) - ctx.v(bottom_);
+  return v * v / resistance();
+}
+
+void Rram::set_state(double w) {
+  NEMTCAM_EXPECT(w >= 0.0 && w <= 1.0);
+  w_ = w;
+}
+
+}  // namespace nemtcam::devices

@@ -1,0 +1,21 @@
+#include "devices/Switch.h"
+
+namespace nemtcam::devices {
+
+Switch::Switch(std::string name, NodeId a, NodeId b, double r_on, double r_off,
+               bool closed)
+    : Device(std::move(name)), a_(a), b_(b), r_on_(r_on), r_off_(r_off),
+      closed_(closed) {
+  NEMTCAM_EXPECT(r_on > 0.0 && r_off > r_on);
+}
+
+void Switch::stamp(Stamper& s, const StampContext&) {
+  s.conductance(a_, b_, closed_ ? 1.0 / r_on_ : 1.0 / r_off_);
+}
+
+double Switch::power(const StampContext& ctx) const {
+  const double v = ctx.v(a_) - ctx.v(b_);
+  return v * v * (closed_ ? 1.0 / r_on_ : 1.0 / r_off_);
+}
+
+}  // namespace nemtcam::devices

@@ -1,0 +1,56 @@
+// Row-major dense matrix, sized for MNA systems of small circuits
+// (a few hundred unknowns). Larger systems use SparseMatrix/SparseLu.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/Expect.h"
+
+namespace nemtcam::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols);
+
+  static DenseMatrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    NEMTCAM_EXPECT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    NEMTCAM_EXPECT(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  // Sets every entry to zero without reallocating.
+  void set_zero();
+
+  // y = A * x
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  // Frobenius norm difference, used by tests.
+  double max_abs_diff(const DenseMatrix& other) const;
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Vector helpers shared by solvers and the transient engine.
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+double norm_inf(const std::vector<double>& v);
+// r = a - b
+std::vector<double> subtract(const std::vector<double>& a, const std::vector<double>& b);
+// a += s * b
+void axpy(std::vector<double>& a, double s, const std::vector<double>& b);
+
+}  // namespace nemtcam::linalg

@@ -1,0 +1,174 @@
+#include "linalg/SparseLu.h"
+
+#include <algorithm>
+#include <limits>
+#include <cmath>
+
+#include "linalg/DenseLu.h"  // SingularMatrixError
+
+namespace nemtcam::linalg {
+
+SparseLu::SparseLu(SparseMatrix& a, double pivot_tol) {
+  NEMTCAM_EXPECT(a.rows() == a.cols());
+  n_ = a.rows();
+  u_rows_ = a.rows_view();  // copy of normalized rows; mutated in place below
+
+  // col_candidates[c]: physical rows that may hold a nonzero in column c.
+  // Entries can be stale (value eliminated or row already pivoted); they
+  // are validated on use. Fill-ins push new candidates.
+  std::vector<std::vector<std::size_t>> col_candidates(n_);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (const auto& [c, v] : u_rows_[r]) {
+      (void)v;
+      col_candidates[c].push_back(r);
+    }
+
+  std::vector<bool> is_pivot(n_, false);
+  pivot_of_stage_.assign(n_, 0);
+
+  // Static fill-reducing column order: eliminate sparse columns first
+  // (approximate minimum degree). Without this, a dense supply/ground-rail
+  // column eliminated early couples every attached row and the
+  // factorization goes quadratic.
+  col_of_stage_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) col_of_stage_[i] = i;
+  std::sort(col_of_stage_.begin(), col_of_stage_.end(),
+            [&](std::size_t a, std::size_t b) {
+              const auto da = col_candidates[a].size();
+              const auto db = col_candidates[b].size();
+              if (da != db) return da < db;
+              return a < b;
+            });
+
+  // Scatter workspace for row combination.
+  std::vector<double> work(n_, 0.0);
+  std::vector<bool> touched(n_, false);
+  std::vector<std::size_t> touched_cols;
+  touched_cols.reserve(64);
+
+  auto value_at = [&](std::size_t row, std::size_t col) -> double {
+    const auto& entries = u_rows_[row];
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), col,
+        [](const auto& e, std::size_t c) { return e.first < c; });
+    if (it != entries.end() && it->first == col) return it->second;
+    return 0.0;
+  };
+
+  // eliminated[c]: true once column c's stage has run (used to know which
+  // entries in a pivot row are still "active" for fill bookkeeping).
+  std::vector<bool> eliminated(n_, false);
+
+  for (std::size_t stage = 0; stage < n_; ++stage) {
+    const std::size_t k = col_of_stage_[stage];
+    // Threshold pivoting with sparsity preference (Markowitz-style): among
+    // candidates whose magnitude is within `threshold` of the column max,
+    // pick the shortest row — this keeps fill near-linear on circuit
+    // matrices while preserving numerical stability.
+    constexpr double threshold = 0.1;
+    auto& cands = col_candidates[k];
+    double max_mag = 0.0;
+    std::size_t out = 0;
+    for (std::size_t idx = 0; idx < cands.size(); ++idx) {
+      const std::size_t r = cands[idx];
+      if (is_pivot[r]) continue;
+      const double v = value_at(r, k);
+      if (v == 0.0) continue;
+      cands[out++] = r;  // keep valid candidates for the elimination pass
+      max_mag = std::max(max_mag, std::fabs(v));
+    }
+    cands.resize(out);
+    if (cands.empty() || max_mag < pivot_tol)
+      throw SingularMatrixError("SparseLu: singular at column " + std::to_string(k));
+    std::size_t best_row = n_;
+    std::size_t best_len = std::numeric_limits<std::size_t>::max();
+    double best_mag = 0.0;
+    for (const std::size_t r : cands) {
+      const double mag = std::fabs(value_at(r, k));
+      if (mag < threshold * max_mag) continue;
+      const std::size_t len = u_rows_[r].size();
+      if (len < best_len || (len == best_len && mag > best_mag)) {
+        best_len = len;
+        best_row = r;
+        best_mag = mag;
+      }
+    }
+    NEMTCAM_ENSURE(best_row != n_);
+
+    is_pivot[best_row] = true;
+    pivot_of_stage_[stage] = best_row;
+    eliminated[k] = true;
+    const auto& pivot_entries = u_rows_[best_row];
+    const double pivot_val = value_at(best_row, k);
+
+    // Eliminate column k from every other valid candidate row.
+    for (const std::size_t r : cands) {
+      if (r == best_row) continue;
+      const double target_val = value_at(r, k);
+      if (target_val == 0.0) continue;  // may have been recorded before it was valid
+      const double factor = target_val / pivot_val;
+      ops_.push_back({r, best_row, factor});
+
+      // row_r -= factor * pivot_row (scatter/gather), dropping column k.
+      auto& row = u_rows_[r];
+      touched_cols.clear();
+      for (const auto& [c, v] : row) {
+        work[c] = v;
+        touched[c] = true;
+        touched_cols.push_back(c);
+      }
+      for (const auto& [c, v] : pivot_entries) {
+        if (!touched[c]) {
+          work[c] = 0.0;
+          touched[c] = true;
+          touched_cols.push_back(c);
+          if (!eliminated[c]) col_candidates[c].push_back(r);  // fill-in
+        }
+        work[c] -= factor * v;
+      }
+      std::sort(touched_cols.begin(), touched_cols.end());
+      row.clear();
+      for (const std::size_t c : touched_cols) {
+        if (c != k && work[c] != 0.0) row.emplace_back(c, work[c]);
+        touched[c] = false;
+      }
+    }
+  }
+}
+
+std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+  NEMTCAM_EXPECT(b.size() == n_);
+  std::vector<double> y = b;
+  // Forward: replay eliminations. At each recorded op the pivot row's value
+  // is already final (a row is never updated after becoming a pivot).
+  for (const auto& op : ops_) y[op.target_row] -= op.factor * y[op.pivot_row];
+
+  // Backward: rows in reverse stage order form an upper-triangular system
+  // (a pivot row's surviving entries belong to its own column plus
+  // later-stage columns, whose unknowns are already solved).
+  std::vector<double> x(n_, 0.0);
+  for (std::size_t stage = n_; stage-- > 0;) {
+    const std::size_t p = pivot_of_stage_[stage];
+    const std::size_t k = col_of_stage_[stage];
+    double acc = y[p];
+    double diag = 0.0;
+    for (const auto& [c, v] : u_rows_[p]) {
+      if (c == k) {
+        diag = v;
+      } else {
+        acc -= v * x[c];
+      }
+    }
+    NEMTCAM_ENSURE_MSG(diag != 0.0, "SparseLu::solve: zero diagonal");
+    x[k] = acc / diag;
+  }
+  return x;
+}
+
+std::size_t SparseLu::fill_nnz() const noexcept {
+  std::size_t total = ops_.size();
+  for (const auto& row : u_rows_) total += row.size();
+  return total;
+}
+
+}  // namespace nemtcam::linalg

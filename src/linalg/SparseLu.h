@@ -1,0 +1,46 @@
+// Sparse LU with partial (magnitude) pivoting via row elimination.
+//
+// Designed for MNA matrices of circuit netlists up to a few tens of
+// thousands of unknowns: rows stay short (node degree + fill), so a
+// scatter/gather row-combination with per-column candidate tracking is
+// both simple and fast enough. Elimination operations are recorded so a
+// factorization can be reused across many right-hand sides (one Newton
+// iteration per transient step re-factorizes; the solve itself is cheap).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/SparseMatrix.h"
+
+namespace nemtcam::linalg {
+
+class SparseLu {
+ public:
+  // Factorizes; throws linalg::SingularMatrixError (see DenseLu.h) when a
+  // pivot column has no usable entry.
+  explicit SparseLu(SparseMatrix& a, double pivot_tol = 1e-30);
+
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  std::size_t size() const noexcept { return n_; }
+  // Total stored nonzeros in U plus recorded L operations (fill metric).
+  std::size_t fill_nnz() const noexcept;
+
+ private:
+  struct EliminationOp {
+    std::size_t target_row;  // physical row index being updated
+    std::size_t pivot_row;   // physical row index of the stage pivot
+    double factor;           // multiplier subtracted: row_t -= f * row_p
+  };
+
+  std::size_t n_ = 0;
+  // Final (upper-triangular in stage order) rows: row_entries_[p] sorted by column.
+  std::vector<std::vector<std::pair<std::size_t, double>>> u_rows_;
+  std::vector<std::size_t> pivot_of_stage_;  // stage k -> physical row
+  std::vector<std::size_t> col_of_stage_;    // stage k -> eliminated column
+  std::vector<EliminationOp> ops_;           // in elimination order
+};
+
+}  // namespace nemtcam::linalg

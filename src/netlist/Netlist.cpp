@@ -1,0 +1,417 @@
+#include "netlist/Netlist.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "devices/Controlled.h"
+#include "devices/Diode.h"
+#include "devices/Fefet.h"
+#include "devices/Inductor.h"
+#include "devices/Mosfet.h"
+#include "devices/NemRelay.h"
+#include "devices/Passive.h"
+#include "devices/Rram.h"
+#include "devices/Sources.h"
+#include "devices/Switch.h"
+#include "spice/Waveform.h"
+
+namespace nemtcam::spice {
+
+namespace {
+
+using namespace nemtcam::devices;
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw NetlistError("netlist line " + std::to_string(line) + ": " + msg);
+}
+
+// Splits a line into tokens; treats '(', ')' and ',' as separators so both
+// "PULSE(0 1 1n ...)" and "PULSE(0,1,1n,...)" tokenize uniformly. The
+// function-name token (pulse/pwl/sin) is kept.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : line) {
+    if (std::isspace(static_cast<unsigned char>(ch)) || ch == '(' ||
+        ch == ')' || ch == ',') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Parses "key=value" into {key, value}; returns false for plain tokens.
+bool split_kv(const std::string& tok, std::string& key, std::string& value) {
+  const auto eq = tok.find('=');
+  if (eq == std::string::npos) return false;
+  key = lower(tok.substr(0, eq));
+  value = tok.substr(eq + 1);
+  return true;
+}
+
+struct Parser {
+  Circuit& ckt;
+  int line_no = 0;
+
+  NodeId node(const std::string& name) { return ckt.node(lower(name)); }
+
+  double num(const std::string& tok) {
+    try {
+      return parse_spice_number(tok);
+    } catch (const NetlistError& e) {
+      fail(line_no, e.what());
+    }
+  }
+
+  // Builds a waveform from tokens[i..]; handles DC, PULSE, PWL, SIN.
+  std::unique_ptr<Waveform> waveform(const std::vector<std::string>& t,
+                                     std::size_t i) {
+    if (i >= t.size()) fail(line_no, "missing source value");
+    const std::string head = lower(t[i]);
+    if (head == "pulse") {
+      if (t.size() - i - 1 < 6) fail(line_no, "PULSE needs 6-7 arguments");
+      const double v1 = num(t[i + 1]);
+      const double v2 = num(t[i + 2]);
+      const double td = num(t[i + 3]);
+      const double tr = num(t[i + 4]);
+      const double tf = num(t[i + 5]);
+      const double pw = num(t[i + 6]);
+      const double per = (t.size() - i - 1 >= 7) ? num(t[i + 7]) : 0.0;
+      return std::make_unique<PulseWave>(v1, v2, td, tr, tf, pw, per);
+    }
+    if (head == "pwl") {
+      std::vector<std::pair<double, double>> pts;
+      for (std::size_t k = i + 1; k + 1 < t.size(); k += 2)
+        pts.emplace_back(num(t[k]), num(t[k + 1]));
+      if (pts.empty()) fail(line_no, "PWL needs time/value pairs");
+      return std::make_unique<PwlWave>(std::move(pts));
+    }
+    if (head == "sin") {
+      if (t.size() - i - 1 < 3) fail(line_no, "SIN needs 3-4 arguments");
+      const double off = num(t[i + 1]);
+      const double ampl = num(t[i + 2]);
+      const double freq = num(t[i + 3]);
+      const double delay = (t.size() - i - 1 >= 4) ? num(t[i + 4]) : 0.0;
+      return std::make_unique<SinWave>(off, ampl, freq, delay);
+    }
+    if (head == "dc") {
+      if (i + 1 >= t.size()) fail(line_no, "DC needs a value");
+      return std::make_unique<DcWave>(num(t[i + 1]));
+    }
+    return std::make_unique<DcWave>(num(t[i]));
+  }
+};
+
+}  // namespace
+
+double parse_spice_number(const std::string& token) {
+  if (token.empty()) throw NetlistError("empty number");
+  const std::string t = lower(token);
+  std::size_t pos = 0;
+  double base = 0.0;
+  try {
+    base = std::stod(t, &pos);
+  } catch (const std::exception&) {
+    throw NetlistError("invalid number '" + token + "'");
+  }
+  const std::string suffix = t.substr(pos);
+  if (suffix.empty()) return base;
+  static const std::map<std::string, double> kScale = {
+      {"t", 1e12}, {"g", 1e9},   {"meg", 1e6}, {"k", 1e3},  {"m", 1e-3},
+      {"u", 1e-6}, {"n", 1e-9},  {"p", 1e-12}, {"f", 1e-15}, {"a", 1e-18},
+  };
+  // Allow trailing unit letters after a known suffix ("2.2nF", "1kohm").
+  for (const auto& [sfx, scale] : kScale) {
+    if (suffix.rfind(sfx, 0) == 0) {
+      // "m" must not shadow "meg".
+      if (sfx == "m" && suffix.rfind("meg", 0) == 0) continue;
+      return base * scale;
+    }
+  }
+  // Pure unit letters (V, s, ohm, f?) — 'f' is femto by SPICE convention,
+  // already handled; anything alphabetic left is treated as a unit.
+  if (std::all_of(suffix.begin(), suffix.end(), [](unsigned char c) {
+        return std::isalpha(c);
+      }))
+    return base;
+  throw NetlistError("invalid number '" + token + "'");
+}
+
+ParsedNetlist parse_netlist(const std::string& text) {
+  ParsedNetlist out;
+  out.circuit = std::make_unique<Circuit>();
+  Parser p{*out.circuit};
+
+  std::istringstream is(text);
+  std::string raw;
+  bool first = true;
+  bool ended = false;
+  // Controlled sources need the V element they reference; collect deferred
+  // lines and resolve after the first pass.
+  struct Deferred {
+    int line_no;
+    std::vector<std::string> tokens;
+  };
+  std::vector<Deferred> deferred;
+  std::map<std::string, Device*> by_name;
+
+  while (std::getline(is, raw)) {
+    ++p.line_no;
+    if (first) {
+      out.title = raw;
+      first = false;
+      continue;
+    }
+    if (ended) continue;
+    // Strip comments: '*' at start, ';' anywhere.
+    std::string line = raw;
+    if (const auto sc = line.find(';'); sc != std::string::npos)
+      line.resize(sc);
+    if (!line.empty() && line[0] == '*') continue;
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+
+    const std::string head = lower(tokens[0]);
+
+    if (head[0] == '.') {
+      if (head == ".end") {
+        ended = true;
+      } else if (head == ".op") {
+        out.analysis.kind = ParsedAnalysis::Kind::Op;
+      } else if (head == ".tran") {
+        if (tokens.size() < 3) fail(p.line_no, ".tran <dt_max> <t_end>");
+        out.analysis.kind = ParsedAnalysis::Kind::Tran;
+        out.analysis.tran_dt_max = p.num(tokens[1]);
+        out.analysis.tran_t_end = p.num(tokens[2]);
+      } else if (head == ".ic") {
+        // .ic v(node)=value …; tokenize() split the parens, so the pattern
+        // arrives as: "v" <node> "=value".
+        std::size_t i = 1;
+        while (i < tokens.size()) {
+          if (i + 2 >= tokens.size() || lower(tokens[i]) != "v" ||
+              tokens[i + 2].empty() || tokens[i + 2][0] != '=')
+            fail(p.line_no, ".ic expects v(node)=value");
+          out.circuit->set_ic(p.node(tokens[i + 1]),
+                              p.num(tokens[i + 2].substr(1)));
+          i += 3;
+        }
+      } else if (head == ".print") {
+        // .print v(node) [v(node)…] → tokens "v" <node> repeated.
+        for (std::size_t i = 1; i < tokens.size();) {
+          if (lower(tokens[i]) == "v" && i + 1 < tokens.size()) {
+            out.print_nodes.push_back(lower(tokens[i + 1]));
+            i += 2;
+          } else {
+            out.print_nodes.push_back(lower(tokens[i]));
+            ++i;
+          }
+        }
+      } else {
+        fail(p.line_no, "unsupported directive '" + tokens[0] + "'");
+      }
+      continue;
+    }
+
+    const char kind = head[0];
+    const std::string name = tokens[0];
+    auto need = [&](std::size_t n) {
+      if (tokens.size() < n) fail(p.line_no, "too few fields for " + name);
+    };
+
+    switch (kind) {
+      case 'r': {
+        need(4);
+        by_name[lower(name)] = &out.circuit->add<Resistor>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.num(tokens[3]));
+        break;
+      }
+      case 'c': {
+        need(4);
+        by_name[lower(name)] = &out.circuit->add<Capacitor>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.num(tokens[3]));
+        break;
+      }
+      case 'l': {
+        need(4);
+        by_name[lower(name)] = &out.circuit->add<Inductor>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.num(tokens[3]));
+        break;
+      }
+      case 'd': {
+        need(3);
+        DiodeParams dp;
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (!split_kv(tokens[i], key, value)) continue;
+          if (key == "is") dp.i_sat = p.num(value);
+          else if (key == "n") dp.n_ideality = p.num(value);
+          else fail(p.line_no, "unknown diode parameter '" + key + "'");
+        }
+        by_name[lower(name)] = &out.circuit->add<Diode>(
+            name, p.node(tokens[1]), p.node(tokens[2]), dp);
+        break;
+      }
+      case 'v': {
+        need(4);
+        by_name[lower(name)] = &out.circuit->add<VSource>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.waveform(tokens, 3));
+        break;
+      }
+      case 'i': {
+        need(4);
+        by_name[lower(name)] = &out.circuit->add<ISource>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.waveform(tokens, 3));
+        break;
+      }
+      case 'm': {
+        need(5);
+        const std::string type = lower(tokens[4]);
+        double w = 1.0;
+        double vth = -1.0;
+        for (std::size_t i = 5; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (!split_kv(tokens[i], key, value)) continue;
+          if (key == "w") w = p.num(value);
+          else if (key == "vth") vth = p.num(value);
+          else fail(p.line_no, "unknown MOSFET parameter '" + key + "'");
+        }
+        MosfetParams mp = type == "pmos" ? MosfetParams::pmos_lp(w)
+                                         : MosfetParams::nmos_lp(w);
+        if (type != "nmos" && type != "pmos")
+          fail(p.line_no, "MOSFET type must be NMOS or PMOS");
+        if (vth > 0.0) mp.vth = vth;
+        by_name[lower(name)] = &out.circuit->add<Mosfet>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]), mp);
+        break;
+      }
+      case 'e': {
+        need(6);
+        by_name[lower(name)] = &out.circuit->add<Vcvs>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]),
+            p.node(tokens[4]), p.num(tokens[5]));
+        break;
+      }
+      case 'g': {
+        need(6);
+        by_name[lower(name)] = &out.circuit->add<Vccs>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]),
+            p.node(tokens[4]), p.num(tokens[5]));
+        break;
+      }
+      case 'f':
+      case 'h': {
+        need(5);
+        deferred.push_back({p.line_no, tokens});
+        break;
+      }
+      case 's': {
+        need(3);
+        double ron = 1.0, roff = 1e12;
+        bool closed = false;
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (split_kv(tokens[i], key, value)) {
+            if (key == "ron") ron = p.num(value);
+            else if (key == "roff") roff = p.num(value);
+            else fail(p.line_no, "unknown switch parameter '" + key + "'");
+          } else if (lower(tokens[i]) == "on") {
+            closed = true;
+          } else if (lower(tokens[i]) == "off") {
+            closed = false;
+          }
+        }
+        by_name[lower(name)] = &out.circuit->add<Switch>(
+            name, p.node(tokens[1]), p.node(tokens[2]), ron, roff, closed);
+        break;
+      }
+      case 'n': {
+        need(5);
+        NemRelayParams np;
+        bool closed = false;
+        for (std::size_t i = 5; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (split_kv(tokens[i], key, value)) {
+            if (key == "vpi") np.v_pi = p.num(value);
+            else if (key == "vpo") np.v_po = p.num(value);
+            else if (key == "ron") np.r_on = p.num(value);
+            else if (key == "con") np.c_on = p.num(value);
+            else if (key == "coff") np.c_off = p.num(value);
+            else if (key == "taumech") np.tau_mech = p.num(value);
+            else fail(p.line_no, "unknown relay parameter '" + key + "'");
+          } else if (lower(tokens[i]) == "closed") {
+            closed = true;
+          }
+        }
+        auto& relay = out.circuit->add<NemRelay>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]),
+            p.node(tokens[4]), np);
+        if (closed) relay.set_state(true);
+        by_name[lower(name)] = &relay;
+        break;
+      }
+      case 'z': {
+        need(3);
+        double state = 0.0;
+        for (std::size_t i = 3; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (split_kv(tokens[i], key, value) && key == "state")
+            state = p.num(value);
+        }
+        auto& rram = out.circuit->add<Rram>(name, p.node(tokens[1]),
+                                            p.node(tokens[2]));
+        rram.set_state(state);
+        by_name[lower(name)] = &rram;
+        break;
+      }
+      case 'q': {
+        need(4);
+        FefetParams fp;
+        auto& fefet = out.circuit->add<Fefet>(
+            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]), fp);
+        for (std::size_t i = 4; i < tokens.size(); ++i) {
+          const std::string flag = lower(tokens[i]);
+          if (flag == "low") fefet.set_low_vth(true);
+          else if (flag == "high") fefet.set_low_vth(false);
+        }
+        by_name[lower(name)] = &fefet;
+        break;
+      }
+      default:
+        fail(p.line_no, "unknown element '" + name + "'");
+    }
+  }
+
+  // Resolve current-controlled sources now that all V elements exist.
+  for (const auto& d : deferred) {
+    p.line_no = d.line_no;
+    const auto& t = d.tokens;
+    const auto it = by_name.find(lower(t[3]));
+    if (it == by_name.end() || it->second->branch_count() == 0)
+      fail(d.line_no, "controlling element '" + t[3] + "' not found or has no branch");
+    if (lower(t[0])[0] == 'f') {
+      out.circuit->add<Cccs>(t[0], p.node(t[1]), p.node(t[2]), *it->second,
+                             p.num(t[4]));
+    } else {
+      out.circuit->add<Ccvs>(t[0], p.node(t[1]), p.node(t[2]), *it->second,
+                             p.num(t[4]));
+    }
+  }
+
+  return out;
+}
+
+}  // namespace nemtcam::spice

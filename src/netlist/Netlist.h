@@ -1,0 +1,67 @@
+// SPICE-style netlist parser.
+//
+// Accepts a practical subset of the classic deck format so circuits can be
+// described as text and run through the CLI (tools/nemtcam_sim) or tests:
+//
+//   * title on the first line, '*' comments, case-insensitive cards
+//   * elements:
+//       Rname n1 n2 value
+//       Cname n1 n2 value
+//       Lname n1 n2 value
+//       Dname anode cathode [is=<A>] [n=<ideality>]
+//       Vname p m <dc> | PULSE(v1 v2 td tr tf pw [per]) | PWL(t1 v1 ...)
+//                       | SIN(off ampl freq [delay])
+//       Iname p m <dc or waveform>
+//       Mname d g s NMOS|PMOS [w=<width-scale>] [vth=<V>]
+//       Ename p m cp cm gain          (VCVS)
+//       Gname p m cp cm gm            (VCCS)
+//       Fname p m Vctrl gain          (CCCS, controlled by a V element)
+//       Hname p m Vctrl r             (CCVS)
+//       Sname a b [ron=] [roff=] [on] (ideal switch, default off)
+//       Nname d g s b [vpi=] [vpo=] [ron=] [taumech=] [closed] (NEM relay)
+//       Zname top bottom [state=<0..1>]                        (RRAM)
+//       Qname d g s [low|high]                                 (FeFET)
+//   * directives: .tran <dt_max> <t_end>   .op   .ic v(node)=<V>
+//                 .print v(node) [v(node)...]   .end
+//   * engineering suffixes on numbers: t g meg k m u n p f a (e.g. 2.5n,
+//     100meg, 20a)
+//
+// Numbers are parsed with `parse_spice_number`, exposed for reuse.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "spice/Circuit.h"
+
+namespace nemtcam::spice {
+
+struct NetlistError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct ParsedAnalysis {
+  enum class Kind { None, Op, Tran };
+  Kind kind = Kind::None;
+  double tran_dt_max = 0.0;
+  double tran_t_end = 0.0;
+};
+
+struct ParsedNetlist {
+  std::string title;
+  std::unique_ptr<Circuit> circuit;
+  ParsedAnalysis analysis;
+  std::vector<std::string> print_nodes;  // names from .print v(...)
+};
+
+// Parses a full deck; throws NetlistError with a line-numbered message on
+// malformed input.
+ParsedNetlist parse_netlist(const std::string& text);
+
+// "2.5n" → 2.5e-9, "100meg" → 1e8, "1k" → 1e3, "20a" → 2e-17, plain
+// numbers pass through. Throws NetlistError on garbage.
+double parse_spice_number(const std::string& token);
+
+}  // namespace nemtcam::spice

@@ -1,0 +1,47 @@
+#include "spice/Circuit.h"
+
+namespace nemtcam::spice {
+
+namespace {
+const std::string kGroundName = "0";
+}
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  auto it = name_to_id_.find(name);
+  if (it != name_to_id_.end()) return it->second;
+  names_.push_back(name);
+  const NodeId id = static_cast<NodeId>(names_.size());
+  name_to_id_.emplace(name, id);
+  return id;
+}
+
+NodeId Circuit::make_node() {
+  return node("_n" + std::to_string(anon_counter_++));
+}
+
+Device* Circuit::find(const std::string& name) {
+  for (const auto& dev : devices_)
+    if (dev->name() == name) return dev.get();
+  return nullptr;
+}
+
+const std::string& Circuit::node_name(NodeId n) const {
+  if (n == kGround) return kGroundName;
+  NEMTCAM_EXPECT(n >= 1 && static_cast<std::size_t>(n) <= names_.size());
+  return names_[static_cast<std::size_t>(n - 1)];
+}
+
+void Circuit::set_ic(NodeId n, double volts) {
+  NEMTCAM_EXPECT_MSG(n != kGround, "cannot set an IC on ground");
+  ics_[n] = volts;
+}
+
+std::vector<double> Circuit::initial_state() const {
+  std::vector<double> v(static_cast<std::size_t>(unknown_count()), 0.0);
+  for (const auto& [n, volts] : ics_)
+    v[static_cast<std::size_t>(n - 1)] = volts;
+  return v;
+}
+
+}  // namespace nemtcam::spice

@@ -1,0 +1,75 @@
+// Netlist container: named nodes, devices, branch bookkeeping, initial
+// conditions.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "spice/Device.h"
+#include "spice/Types.h"
+
+namespace nemtcam::spice {
+
+class Circuit {
+ public:
+  Circuit() = default;
+
+  // Returns the node with the given name, creating it on first use.
+  // The name "0" and "gnd" map to ground.
+  NodeId node(const std::string& name);
+
+  // Creates an anonymous node (named "_n<k>").
+  NodeId make_node();
+
+  NodeId ground() const noexcept { return kGround; }
+
+  // Constructs a device in place; branch unknowns are assigned here.
+  template <typename D, typename... Args>
+  D& add(Args&&... args) {
+    auto dev = std::make_unique<D>(std::forward<Args>(args)...);
+    D& ref = *dev;
+    if (dev->branch_count() > 0) {
+      dev->set_first_branch(n_branches_);
+      n_branches_ += dev->branch_count();
+    }
+    devices_.push_back(std::move(dev));
+    return ref;
+  }
+
+  // Number of nodes including ground.
+  std::size_t node_count() const noexcept { return names_.size() + 1; }
+  int node_unknowns() const noexcept { return static_cast<int>(names_.size()); }
+  int branch_unknowns() const noexcept { return n_branches_; }
+  int unknown_count() const noexcept { return node_unknowns() + n_branches_; }
+
+  const std::vector<std::unique_ptr<Device>>& devices() const noexcept {
+    return devices_;
+  }
+
+  // First device with the given instance name, or nullptr.
+  Device* find(const std::string& name);
+
+  // Name of a node id ("0" for ground).
+  const std::string& node_name(NodeId n) const;
+
+  // Initial condition for a node (used by transient-from-IC; unset nodes
+  // start at 0 V).
+  void set_ic(NodeId n, double volts);
+  const std::map<NodeId, double>& ics() const noexcept { return ics_; }
+
+  // Builds the initial unknown vector from ICs (branch currents start at 0).
+  std::vector<double> initial_state() const;
+
+ private:
+  std::unordered_map<std::string, NodeId> name_to_id_;
+  std::vector<std::string> names_;  // names_[i] is node id i+1
+  std::vector<std::unique_ptr<Device>> devices_;
+  int n_branches_ = 0;
+  int anon_counter_ = 0;
+  std::map<NodeId, double> ics_;
+};
+
+}  // namespace nemtcam::spice

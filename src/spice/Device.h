@@ -1,0 +1,123 @@
+// Device interface for the MNA simulator.
+//
+// Each device stamps its Newton linearization into the system J·v = rhs.
+// Devices carry their own internal state (mechanical position, memristor
+// filament, polarization, capacitor charge history); state advances only in
+// commit(), which the transient engine calls exactly once per *accepted*
+// step, so rejected/retried steps never corrupt state.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "spice/Types.h"
+#include "util/Expect.h"
+
+namespace nemtcam::spice {
+
+// Time-integration scheme for companion models. Backward Euler is the
+// robust default (L-stable: right for the stiff switch/relay transients
+// here); trapezoidal is second-order accurate and preserves oscillation
+// amplitude, supported by the reactive elements that carry per-step
+// current state (Capacitor, Inductor).
+enum class Integrator { BackwardEuler, Trapezoidal };
+
+// Evaluation context handed to devices during stamping and commit.
+class StampContext {
+ public:
+  StampContext(double t, double dt, bool is_dc, int n_node_unknowns,
+               const std::vector<double>* v_iter,
+               const std::vector<double>* v_prev,
+               Integrator integrator = Integrator::BackwardEuler)
+      : t_(t), dt_(dt), is_dc_(is_dc), n_node_unknowns_(n_node_unknowns),
+        v_iter_(v_iter), v_prev_(v_prev), integrator_(integrator) {}
+
+  Integrator integrator() const noexcept { return integrator_; }
+
+  // Time at the end of the step being solved.
+  double t() const noexcept { return t_; }
+  // Step size; 0 for DC analysis.
+  double dt() const noexcept { return dt_; }
+  bool dc() const noexcept { return is_dc_; }
+
+  // Voltage of a node at the current Newton iterate.
+  double v(NodeId n) const {
+    if (n == kGround) return 0.0;
+    return (*v_iter_)[static_cast<std::size_t>(n - 1)];
+  }
+  // Voltage at the last accepted time point (start of this step).
+  double v_prev(NodeId n) const {
+    if (n == kGround) return 0.0;
+    return (*v_prev_)[static_cast<std::size_t>(n - 1)];
+  }
+  // Branch current unknown at the current iterate.
+  double branch_current(BranchId b) const {
+    NEMTCAM_EXPECT(b >= 0);
+    return (*v_iter_)[static_cast<std::size_t>(n_node_unknowns_ + b)];
+  }
+
+ private:
+  double t_;
+  double dt_;
+  bool is_dc_;
+  int n_node_unknowns_;
+  const std::vector<double>* v_iter_;
+  const std::vector<double>* v_prev_;
+  Integrator integrator_;
+};
+
+class Stamper;
+
+class Device {
+ public:
+  explicit Device(std::string name) : name_(std::move(name)) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  // Number of extra MNA branch-current unknowns this device needs.
+  virtual int branch_count() const { return 0; }
+
+  // Stamps the Newton linearization at the context's iterate.
+  virtual void stamp(Stamper& s, const StampContext& ctx) = 0;
+
+  // Advances internal state after a step is accepted.
+  virtual void commit(const StampContext& ctx) { (void)ctx; }
+
+  // Largest step the device can tolerate from its current state (e.g. a
+  // relay in mechanical flight bounds dt to resolve the traversal).
+  virtual double max_dt_hint() const {
+    return std::numeric_limits<double>::infinity();
+  }
+
+  // Instantaneous dissipated power at the given solution, for breakdowns.
+  virtual double power(const StampContext& ctx) const { (void)ctx; return 0.0; }
+
+  // Instantaneous power *delivered to the circuit* by this device (nonzero
+  // for sources only). The transient engine integrates this per device to
+  // give the energy ledger used by the write/search energy benches.
+  virtual double delivered_power(const StampContext& ctx) const {
+    (void)ctx;
+    return 0.0;
+  }
+
+  // Times within (0, t_end) where the device's drive has a corner; the
+  // transient engine lands steps exactly on these (sources override).
+  virtual std::vector<double> breakpoints(double t_end) const {
+    (void)t_end;
+    return {};
+  }
+
+  BranchId first_branch() const noexcept { return first_branch_; }
+  void set_first_branch(BranchId b) noexcept { first_branch_ = b; }
+
+ private:
+  std::string name_;
+  BranchId first_branch_ = kNoBranch;
+};
+
+}  // namespace nemtcam::spice

@@ -1,0 +1,97 @@
+#include "spice/Newton.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/DenseLu.h"  // SingularMatrixError
+#include "linalg/SparseLu.h"
+#include "linalg/SparseMatrix.h"
+#include "spice/Stamper.h"
+#include "util/Log.h"
+
+namespace nemtcam::spice {
+
+NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
+                          std::vector<double>& v,
+                          const std::vector<double>& v_prev,
+                          const NewtonOptions& opts, Integrator integrator) {
+  const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
+  NEMTCAM_EXPECT(v.size() == n && v_prev.size() == n);
+  const int n_node = circuit.node_unknowns();
+
+  linalg::SparseMatrix a(n, n);
+  std::vector<double> rhs(n);
+
+  NewtonResult result;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    a.clear();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+    Stamper stamper(a, rhs, n_node);
+    StampContext ctx(t, dt, is_dc, n_node, &v, &v_prev, integrator);
+    for (const auto& dev : circuit.devices()) dev->stamp(stamper, ctx);
+    if (opts.gmin > 0.0)
+      for (int i = 1; i <= n_node; ++i)
+        stamper.conductance(static_cast<NodeId>(i), kGround, opts.gmin);
+
+    std::vector<double> v_new;
+    try {
+      linalg::SparseLu lu(a);
+      if (iter == 0)
+        log::debug("newton: n=", n, " nnz=", a.nnz(), " fill=", lu.fill_nnz());
+      v_new = lu.solve(rhs);
+    } catch (const linalg::SingularMatrixError&) {
+      log::debug("Newton: singular system at t=", t, " iter=", iter);
+      result.converged = false;
+      return result;
+    }
+
+    // Damped update and convergence check over node voltages. Branch
+    // currents are taken as solved (they are linear given the voltages).
+    double max_delta = 0.0;
+    bool clamped = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double dv = v_new[i] - v[i];
+      if (opts.damp_limit > 0.0 && i < static_cast<std::size_t>(n_node)) {
+        if (dv > opts.damp_limit) { dv = opts.damp_limit; clamped = true; }
+        if (dv < -opts.damp_limit) { dv = -opts.damp_limit; clamped = true; }
+      }
+      if (i < static_cast<std::size_t>(n_node))
+        max_delta = std::max(max_delta, std::fabs(dv));
+      v[i] += dv;
+    }
+    result.max_delta = max_delta;
+    if (!clamped) {
+      // Converged when the node-voltage update is negligible.
+      double tol_scale = 0.0;
+      for (int i = 0; i < n_node; ++i)
+        tol_scale = std::max(tol_scale, std::fabs(v[static_cast<std::size_t>(i)]));
+      if (max_delta <= opts.abstol + opts.reltol * tol_scale) {
+        result.converged = true;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& opts) {
+  DcResult dc;
+  dc.v = circuit.initial_state();
+  const std::vector<double> v_prev = dc.v;
+  for (double gmin : opts.gmin_ladder) {
+    NewtonOptions nopts = opts.newton;
+    nopts.gmin = gmin;
+    const NewtonResult r =
+        solve_newton(circuit, 0.0, 0.0, /*is_dc=*/true, dc.v, v_prev, nopts);
+    if (!r.converged) {
+      log::debug("dc_operating_point: gmin=", gmin, " failed to converge");
+      dc.converged = false;
+      return dc;
+    }
+  }
+  dc.converged = true;
+  return dc;
+}
+
+}  // namespace nemtcam::spice

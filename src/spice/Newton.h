@@ -1,0 +1,52 @@
+// Newton–Raphson solve of the stamped MNA system at one time point,
+// plus the DC operating-point driver (Newton with a gmin ladder).
+#pragma once
+
+#include <vector>
+
+#include "spice/Circuit.h"
+
+namespace nemtcam::spice {
+
+struct NewtonOptions {
+  int max_iterations = 60;
+  // Convergence: max |Δv| over node unknowns below abstol + reltol·|v|.
+  double abstol = 1e-6;   // volts
+  double reltol = 1e-6;
+  // Per-iteration update clamp (volts) to keep exponential device models
+  // inside their sane range. 0 disables damping.
+  double damp_limit = 0.5;
+  // Conductance to ground added on every node unknown (DC convergence aid).
+  double gmin = 0.0;
+};
+
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+  double max_delta = 0.0;
+};
+
+// Solves f(v) = 0 at time t with step dt (dt == 0 → DC stamping).
+// `v` holds the initial guess on entry and the solution on success;
+// `v_prev` is the last accepted solution used by companion models.
+NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
+                          std::vector<double>& v,
+                          const std::vector<double>& v_prev,
+                          const NewtonOptions& opts,
+                          Integrator integrator = Integrator::BackwardEuler);
+
+struct DcOptions {
+  NewtonOptions newton;
+  // gmin stepping ladder: solve repeatedly while relaxing gmin.
+  std::vector<double> gmin_ladder = {1e-3, 1e-6, 1e-9, 1e-12};
+};
+
+struct DcResult {
+  bool converged = false;
+  std::vector<double> v;
+};
+
+// DC operating point from a zero (or IC-seeded) initial guess.
+DcResult dc_operating_point(Circuit& circuit, const DcOptions& opts = {});
+
+}  // namespace nemtcam::spice

@@ -1,0 +1,191 @@
+#include "spice/Transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/Expect.h"
+#include "util/Log.h"
+
+namespace nemtcam::spice {
+
+Trace TransientResult::node_trace(NodeId n) const {
+  NEMTCAM_EXPECT(n != kGround);
+  NEMTCAM_EXPECT(n - 1 < n_node_unknowns);
+  std::vector<double> vals;
+  vals.reserve(samples.size());
+  for (const auto& s : samples) vals.push_back(s[static_cast<std::size_t>(n - 1)]);
+  return Trace(times, std::move(vals));
+}
+
+Trace TransientResult::branch_trace(BranchId b) const {
+  NEMTCAM_EXPECT(b >= 0);
+  std::vector<double> vals;
+  vals.reserve(samples.size());
+  for (const auto& s : samples)
+    vals.push_back(s[static_cast<std::size_t>(n_node_unknowns + b)]);
+  return Trace(times, std::move(vals));
+}
+
+double TransientResult::source_energy(const std::string& device_name) const {
+  const auto it = source_energy_.find(device_name);
+  NEMTCAM_EXPECT_MSG(it != source_energy_.end(),
+                     "no energy recorded for source '" + device_name + "'");
+  return it->second;
+}
+
+double TransientResult::total_source_energy() const {
+  double total = 0.0;
+  for (const auto& [name, e] : source_energy_) {
+    (void)name;
+    total += e;
+  }
+  return total;
+}
+
+double TransientResult::device_dissipation(const std::string& device_name) const {
+  const auto it = dissipation_.find(device_name);
+  NEMTCAM_EXPECT_MSG(it != dissipation_.end(),
+                     "no dissipation recorded for device '" + device_name + "'");
+  return it->second;
+}
+
+TransientResult run_transient(Circuit& circuit, const TransientOptions& opts) {
+  return run_transient_from(circuit, circuit.initial_state(), opts);
+}
+
+TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
+                                   const TransientOptions& opts) {
+  NEMTCAM_EXPECT(opts.t_end > 0.0);
+  NEMTCAM_EXPECT(opts.dt_init > 0.0 && opts.dt_min > 0.0 && opts.dt_max > 0.0);
+  NEMTCAM_EXPECT(v0.size() == static_cast<std::size_t>(circuit.unknown_count()));
+
+  TransientResult result;
+  result.n_node_unknowns = circuit.node_unknowns();
+
+  // Collect and sort source breakpoints.
+  std::set<double> bp_set;
+  for (const auto& dev : circuit.devices())
+    for (double t : dev->breakpoints(opts.t_end))
+      if (t > 0.0 && t < opts.t_end) bp_set.insert(t);
+  bp_set.insert(opts.t_end);
+  std::vector<double> breakpoints(bp_set.begin(), bp_set.end());
+
+  std::vector<double> v_prev = std::move(v0);
+  std::vector<double> v = v_prev;
+  double t = 0.0;
+  double dt = opts.dt_init;
+
+  // Per-device previous power sample for trapezoidal energy integration.
+  std::vector<Device*> devs;
+  devs.reserve(circuit.devices().size());
+  for (const auto& dev : circuit.devices()) devs.push_back(dev.get());
+  std::vector<double> prev_delivered(devs.size(), 0.0);
+  std::vector<double> prev_dissipated(devs.size(), 0.0);
+  std::vector<double> acc_delivered(devs.size(), 0.0);
+  std::vector<double> acc_dissipated(devs.size(), 0.0);
+  {
+    StampContext ctx0(0.0, 0.0, /*is_dc=*/false, circuit.node_unknowns(),
+                      &v_prev, &v_prev);
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      prev_delivered[i] = devs[i]->delivered_power(ctx0);
+      prev_dissipated[i] = devs[i]->power(ctx0);
+    }
+  }
+
+  if (opts.record) {
+    result.times.push_back(0.0);
+    result.samples.push_back(v_prev);
+  }
+
+  std::size_t next_bp = 0;
+  const double t_eps = 1e-18;
+
+  while (t < opts.t_end - t_eps) {
+    // Respect device hints and land exactly on the next breakpoint.
+    double dt_cap = opts.dt_max;
+    for (const auto& dev : circuit.devices())
+      dt_cap = std::min(dt_cap, dev->max_dt_hint());
+    dt = std::min(dt, dt_cap);
+    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + t_eps)
+      ++next_bp;
+    if (next_bp < breakpoints.size()) {
+      const double to_bp = breakpoints[next_bp] - t;
+      if (dt >= to_bp - t_eps) dt = to_bp;
+      // Avoid a sliver step right after a breakpoint landing.
+      else if (to_bp - dt < opts.dt_min) dt = to_bp;
+    }
+    dt = std::min(dt, opts.t_end - t);
+
+    // The very first step (and any step right after a source breakpoint)
+    // runs Backward Euler even in trapezoidal mode: the trapezoidal
+    // companion needs a consistent previous current, which a discontinuity
+    // invalidates — the classic SPICE BE-restart rule.
+    const bool at_discontinuity =
+        result.steps_taken == 0 ||
+        (next_bp > 0 && next_bp <= breakpoints.size() &&
+         std::fabs(t - breakpoints[next_bp - 1]) <= t_eps);
+    const Integrator step_integrator =
+        at_discontinuity ? Integrator::BackwardEuler : opts.integrator;
+
+    // Attempt the step, halving on Newton failure.
+    bool accepted = false;
+    while (!accepted) {
+      v = v_prev;  // initial guess: previous solution
+      const NewtonResult nr = solve_newton(circuit, t + dt, dt, /*is_dc=*/false,
+                                           v, v_prev, opts.newton,
+                                           step_integrator);
+      result.newton_iterations += static_cast<std::size_t>(nr.iterations);
+      if (nr.converged) {
+        accepted = true;
+      } else {
+        dt *= 0.25;
+        if (dt < opts.dt_min) {
+          result.failure = "Newton failed to converge at t=" +
+                           std::to_string(t) + " with dt at dt_min";
+          return result;
+        }
+      }
+    }
+
+    t += dt;
+    ++result.steps_taken;
+
+    // Commit device state and integrate energies at the accepted point
+    // (same integrator the step was solved with, so companion-current
+    // state stays consistent).
+    StampContext ctx(t, dt, /*is_dc=*/false, circuit.node_unknowns(), &v,
+                     &v_prev, step_integrator);
+    for (Device* dev : devs) dev->commit(ctx);
+    for (std::size_t i = 0; i < devs.size(); ++i) {
+      const double pd = devs[i]->delivered_power(ctx);
+      acc_delivered[i] += 0.5 * (prev_delivered[i] + pd) * dt;
+      prev_delivered[i] = pd;
+      const double pp = devs[i]->power(ctx);
+      acc_dissipated[i] += 0.5 * (prev_dissipated[i] + pp) * dt;
+      prev_dissipated[i] = pp;
+    }
+
+    if (opts.record) {
+      result.times.push_back(t);
+      result.samples.push_back(v);
+    }
+    v_prev = v;
+    dt = std::min(dt * opts.dt_grow, opts.dt_max);
+  }
+
+  for (std::size_t i = 0; i < devs.size(); ++i) {
+    if (acc_delivered[i] != 0.0 || devs[i]->branch_count() > 0)
+      result.source_energy_[devs[i]->name()] += acc_delivered[i];
+    if (acc_dissipated[i] != 0.0)
+      result.dissipation_[devs[i]->name()] += acc_dissipated[i];
+  }
+
+  result.finished = true;
+  log::info("transient done: steps=", result.steps_taken,
+            " newton_iters=", result.newton_iterations,
+            " unknowns=", circuit.unknown_count());
+  return result;
+}
+
+}  // namespace nemtcam::spice

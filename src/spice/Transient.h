@@ -1,0 +1,69 @@
+// Transient analysis: Backward-Euler companion integration with adaptive
+// stepping, Newton per step, breakpoint landing, and per-source energy
+// accounting.
+//
+// The engine starts from the circuit's initial conditions (SPICE "UIC"
+// style) — the TCAM experiments always begin from a known stored state —
+// or from a caller-provided state vector (e.g. a DC operating point).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spice/Circuit.h"
+#include "spice/Newton.h"
+#include "spice/Trace.h"
+
+namespace nemtcam::spice {
+
+struct TransientOptions {
+  double t_end = 0.0;           // required
+  double dt_init = 1e-12;
+  double dt_min = 1e-16;
+  double dt_max = 1e-10;
+  double dt_grow = 1.4;         // growth factor after an easy step
+  NewtonOptions newton;
+  Integrator integrator = Integrator::BackwardEuler;
+  bool record = true;           // keep full waveforms (needed for measures)
+};
+
+class TransientResult {
+ public:
+  bool finished = false;        // reached t_end
+  std::string failure;          // set when !finished
+  std::size_t steps_taken = 0;
+  std::size_t newton_iterations = 0;
+
+  // Waveform of a node voltage.
+  Trace node_trace(NodeId n) const;
+  // Waveform of a branch current (voltage-source current, into + terminal).
+  Trace branch_trace(BranchId b) const;
+
+  // Energy delivered to the circuit by the named source device over the
+  // whole run (J). Throws if no such device was seen.
+  double source_energy(const std::string& device_name) const;
+  // Sum over all sources.
+  double total_source_energy() const;
+  // Energy dissipated in the named device (only devices reporting power()).
+  double device_dissipation(const std::string& device_name) const;
+
+  const std::map<std::string, double>& source_energies() const noexcept {
+    return source_energy_;
+  }
+
+  // Raw recording (used by Transient and tests).
+  std::vector<double> times;
+  std::vector<std::vector<double>> samples;  // per step: full unknown vector
+  int n_node_unknowns = 0;
+  std::map<std::string, double> source_energy_;
+  std::map<std::string, double> dissipation_;
+};
+
+TransientResult run_transient(Circuit& circuit, const TransientOptions& opts);
+
+// Same, but starting from an explicit unknown vector (e.g. DC op result).
+TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
+                                   const TransientOptions& opts);
+
+}  // namespace nemtcam::spice

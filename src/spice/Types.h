@@ -1,0 +1,16 @@
+// Shared identifiers for the circuit simulator.
+#pragma once
+
+#include <cstddef>
+
+namespace nemtcam::spice {
+
+// Node identifier. Node 0 is always ground; unknown index = id - 1.
+using NodeId = int;
+inline constexpr NodeId kGround = 0;
+
+// Index of an extra MNA branch-current unknown (voltage sources).
+using BranchId = int;
+inline constexpr BranchId kNoBranch = -1;
+
+}  // namespace nemtcam::spice

@@ -1,0 +1,85 @@
+#include "spice/Waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/Expect.h"
+
+namespace nemtcam::spice {
+
+PulseWave::PulseWave(double v1, double v2, double delay, double rise,
+                     double fall, double width, double period)
+    : v1_(v1), v2_(v2), delay_(delay), rise_(rise), fall_(fall), width_(width),
+      period_(period) {
+  NEMTCAM_EXPECT(rise_ > 0.0 && fall_ > 0.0);
+  NEMTCAM_EXPECT(width_ >= 0.0);
+  if (period_ > 0.0) NEMTCAM_EXPECT(period_ >= rise_ + width_ + fall_);
+}
+
+double PulseWave::value(double t) const {
+  if (t < delay_) return v1_;
+  double tc = t - delay_;
+  if (period_ > 0.0) tc = std::fmod(tc, period_);
+  if (tc < rise_) return v1_ + (v2_ - v1_) * (tc / rise_);
+  tc -= rise_;
+  if (tc < width_) return v2_;
+  tc -= width_;
+  if (tc < fall_) return v2_ + (v1_ - v2_) * (tc / fall_);
+  return v1_;
+}
+
+std::vector<double> PulseWave::breakpoints(double t_end) const {
+  std::vector<double> bps;
+  const double cycle = period_ > 0.0 ? period_ : t_end + 1.0;
+  for (double base = delay_; base < t_end; base += cycle) {
+    for (double off : {0.0, rise_, rise_ + width_, rise_ + width_ + fall_}) {
+      const double t = base + off;
+      if (t > 0.0 && t < t_end) bps.push_back(t);
+    }
+    if (period_ <= 0.0) break;
+  }
+  return bps;
+}
+
+PwlWave::PwlWave(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  NEMTCAM_EXPECT(!points_.empty());
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    NEMTCAM_EXPECT_MSG(points_[i].first >= points_[i - 1].first,
+                       "PWL times must be non-decreasing");
+}
+
+double PwlWave::value(double t) const {
+  if (t <= points_.front().first) return points_.front().second;
+  if (t >= points_.back().first) return points_.back().second;
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double tt, const auto& p) { return tt < p.first; });
+  const auto& hi = *it;
+  const auto& lo = *(it - 1);
+  const double span = hi.first - lo.first;
+  if (span <= 0.0) return hi.second;
+  const double frac = (t - lo.first) / span;
+  return lo.second + frac * (hi.second - lo.second);
+}
+
+std::vector<double> PwlWave::breakpoints(double t_end) const {
+  std::vector<double> bps;
+  for (const auto& [t, v] : points_) {
+    (void)v;
+    if (t > 0.0 && t < t_end) bps.push_back(t);
+  }
+  return bps;
+}
+
+SinWave::SinWave(double offset, double amplitude, double freq, double delay)
+    : offset_(offset), amplitude_(amplitude), freq_(freq), delay_(delay) {
+  NEMTCAM_EXPECT(freq_ > 0.0);
+}
+
+double SinWave::value(double t) const {
+  if (t < delay_) return offset_;
+  return offset_ + amplitude_ * std::sin(2.0 * M_PI * freq_ * (t - delay_));
+}
+
+}  // namespace nemtcam::spice

@@ -1,0 +1,65 @@
+// Time-domain source waveforms: DC, PULSE, PWL, SIN — the SPICE classics.
+//
+// A Waveform is a pure function of time plus a breakpoint list; the
+// transient engine lands a step exactly on every breakpoint so that sharp
+// source edges are never integrated across.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace nemtcam::spice {
+
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  virtual double value(double t) const = 0;
+  // Times where the waveform has a corner/discontinuity within [0, t_end).
+  virtual std::vector<double> breakpoints(double t_end) const { (void)t_end; return {}; }
+};
+
+// Constant level.
+class DcWave final : public Waveform {
+ public:
+  explicit DcWave(double level) : level_(level) {}
+  double value(double) const override { return level_; }
+
+ private:
+  double level_;
+};
+
+// SPICE PULSE(v1 v2 delay rise fall width period). period <= 0 means
+// a single pulse.
+class PulseWave final : public Waveform {
+ public:
+  PulseWave(double v1, double v2, double delay, double rise, double fall,
+            double width, double period = 0.0);
+  double value(double t) const override;
+  std::vector<double> breakpoints(double t_end) const override;
+
+ private:
+  double v1_, v2_, delay_, rise_, fall_, width_, period_;
+};
+
+// Piecewise-linear through (t, v) points; clamps at the ends.
+class PwlWave final : public Waveform {
+ public:
+  explicit PwlWave(std::vector<std::pair<double, double>> points);
+  double value(double t) const override;
+  std::vector<double> breakpoints(double t_end) const override;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+// offset + amplitude * sin(2*pi*freq*(t - delay)) for t >= delay.
+class SinWave final : public Waveform {
+ public:
+  SinWave(double offset, double amplitude, double freq, double delay = 0.0);
+  double value(double t) const override;
+
+ private:
+  double offset_, amplitude_, freq_, delay_;
+};
+
+}  // namespace nemtcam::spice

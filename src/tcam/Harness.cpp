@@ -1,0 +1,126 @@
+#include "tcam/Harness.h"
+
+#include "devices/Mosfet.h"
+#include "devices/Passive.h"
+#include "devices/Sources.h"
+#include "spice/Waveform.h"
+
+namespace nemtcam::tcam {
+
+using namespace nemtcam::devices;
+using spice::NodeId;
+using spice::PwlWave;
+
+namespace {
+
+std::unique_ptr<spice::Waveform> step_wave(double v0, double v1, double t_edge,
+                                           double t_rise = 20e-12) {
+  return std::make_unique<PwlWave>(std::vector<std::pair<double, double>>{
+      {0.0, v0}, {t_edge, v0}, {t_edge + t_rise, v1}});
+}
+
+}  // namespace
+
+NodeId add_driven_line(spice::Circuit& c, const Calibration& cal,
+                       const std::string& name, double c_line, double v0,
+                       double v1, double t_edge) {
+  const NodeId n = c.node(name);
+  c.add<VSource>("Vdrv_" + name, n, c.ground(), step_wave(v0, v1, t_edge),
+                 cal.r_line_driver);
+  c.add<Capacitor>("Cline_" + name, n, c.ground(),
+                   c_line + cal.c_driver_load);
+  return n;
+}
+
+NodeId add_static_line(spice::Circuit& c, const Calibration& cal,
+                       const std::string& name, double c_line, double level) {
+  const NodeId n = c.node(name);
+  c.add<VSource>("Vdrv_" + name, n, c.ground(), level, cal.r_line_driver);
+  c.add<Capacitor>("Cline_" + name, n, c.ground(),
+                   c_line + cal.c_driver_load);
+  if (level != 0.0) c.set_ic(n, level);
+  return n;
+}
+
+SearchFixture::SearchFixture(const Calibration& cal, const CellGeometry& geo,
+                             int width, int array_rows,
+                             const core::TernaryWord& key,
+                             double c_sl_gate_per_row)
+    : cal_(cal) {
+  NEMTCAM_EXPECT(static_cast<int>(key.size()) == width);
+  t_edge_ = cal.t_precharge + 50e-12;
+  t_end_ = t_edge_ + cal.t_search_window;
+
+  vdd_ = circuit_.node("vdd");
+  circuit_.add<VSource>("Vdd", vdd_, circuit_.ground(), cal.vdd);
+  circuit_.set_ic(vdd_, cal.vdd);
+
+  // Matchline: wire parasitics scale with the row width; the sense-amp
+  // input load is added on top. Junction loading comes from the attached
+  // cell devices themselves.
+  ml_ = circuit_.node("ml");
+  const double c_ml =
+      width * cal.c_hline_per_cell(geo) + cal.c_ml_sense_load;
+  circuit_.add<Capacitor>("Cml", ml_, circuit_.ground(), c_ml);
+
+  // Precharge PMOS: on (gate low) during [0, t_precharge], then off.
+  const NodeId pchgb = circuit_.node("pchgb");
+  circuit_.add<VSource>("Vpchgb", pchgb, circuit_.ground(),
+                        step_wave(0.0, cal.vdd, cal.t_precharge));
+  circuit_.add<Mosfet>("Mpchg", ml_, pchgb, vdd_,
+                       MosfetParams::pmos_lp(cal.w_precharge));
+
+  // Searchlines: column-height wire load plus per-row cell loading,
+  // driven per the key at t_edge.
+  const double c_sl = array_rows * cal.c_vline_per_cell(geo) +
+                      (array_rows - 1) * c_sl_gate_per_row;
+  sl_.reserve(static_cast<std::size_t>(width));
+  slb_.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    const core::Ternary k = key[static_cast<std::size_t>(i)];
+    const double v_sl = (k == core::Ternary::One) ? cal.vdd : 0.0;
+    const double v_slb = (k == core::Ternary::Zero) ? cal.vdd : 0.0;
+    sl_.push_back(add_driven_line(circuit_, cal, "sl" + std::to_string(i),
+                                  c_sl, 0.0, v_sl, t_edge_));
+    slb_.push_back(add_driven_line(circuit_, cal, "slb" + std::to_string(i),
+                                   c_sl, 0.0, v_slb, t_edge_));
+  }
+}
+
+spice::TransientResult SearchFixture::run(double dt_max) {
+  spice::TransientOptions opts;
+  opts.t_end = t_end_;
+  opts.dt_init = 1e-13;
+  opts.dt_max = dt_max;
+  return spice::run_transient(circuit_, opts);
+}
+
+SearchMetrics SearchFixture::metrics(const spice::TransientResult& result,
+                                     double strobe_delay) const {
+  SearchMetrics m;
+  if (!result.finished) {
+    m.note = "transient failed: " + result.failure;
+    return m;
+  }
+  const spice::Trace ml_trace = result.node_trace(ml_);
+  m.ml_final = ml_trace.back();
+  // Only consider the evaluation window (after the SL edge).
+  double ml_min = m.ml_final;
+  for (std::size_t i = 0; i < ml_trace.size(); ++i) {
+    if (ml_trace.times()[i] >= t_edge_)
+      ml_min = std::min(ml_min, ml_trace.values()[i]);
+  }
+  m.ml_min = ml_min;
+  m.energy = result.total_source_energy();
+
+  const double ml_at_strobe = ml_trace.at(t_edge_ + strobe_delay);
+  m.matched = ml_at_strobe > cal_.ml_sense_level;
+
+  const auto cross =
+      ml_trace.cross_time(cal_.ml_sense_level, /*rising=*/false, t_edge_);
+  m.latency = cross.has_value() ? (*cross - t_edge_) : 0.0;
+  m.ok = true;
+  return m;
+}
+
+}  // namespace nemtcam::tcam

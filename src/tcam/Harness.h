@@ -1,0 +1,73 @@
+// Shared transaction scaffolding for the circuit-level TCAM rows: match-
+// line precharge, searchline drivers, line parasitics, and measurement.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/Ternary.h"
+#include "spice/Circuit.h"
+#include "spice/Transient.h"
+#include "tcam/Calibration.h"
+#include "tcam/Metrics.h"
+
+namespace nemtcam::tcam {
+
+// Builds the design-independent part of a search transaction:
+//  - VDD rail, matchline with precharge PMOS and wire/sense parasitics,
+//  - per-column SL/SL̄ pairs driven according to the key
+//    (key 1 → SL=VDD, SL̄=0; key 0 → SL=0, SL̄=VDD; key X → both 0),
+//  - the transaction timeline: ML precharges during [0, t_precharge],
+//    the precharge device turns off, then SLs switch at t_edge.
+// The caller attaches one cell per column between ml and the sl/slb pair,
+// runs the transient, and extracts SearchMetrics.
+class SearchFixture {
+ public:
+  // c_sl_gate_per_row: additional SL loading contributed by each array row's
+  // cell (e.g. the SRAM compare-stack gates hang directly on the
+  // searchlines; the NVM cells present only small electrode stubs).
+  SearchFixture(const Calibration& cal, const CellGeometry& geo, int width,
+                int array_rows, const core::TernaryWord& key,
+                double c_sl_gate_per_row = 0.0);
+
+  spice::Circuit& circuit() noexcept { return circuit_; }
+  spice::NodeId vdd() const noexcept { return vdd_; }
+  spice::NodeId ml() const noexcept { return ml_; }
+  spice::NodeId sl(int col) const { return sl_.at(static_cast<std::size_t>(col)); }
+  spice::NodeId slb(int col) const { return slb_.at(static_cast<std::size_t>(col)); }
+  double t_edge() const noexcept { return t_edge_; }
+  double t_end() const noexcept { return t_end_; }
+
+  // Runs the transient with step control suited to the search timescale.
+  spice::TransientResult run(double dt_max = 20e-12);
+
+  // Interprets the run. Match/mismatch is decided at the sense strobe
+  // (t_edge + strobe_delay): matched = ML still above the sense level
+  // there. Latency is the SL-edge → ML-crossing time when the ML crossed.
+  SearchMetrics metrics(const spice::TransientResult& result,
+                        double strobe_delay) const;
+
+ private:
+  Calibration cal_;  // by value: rows may pass a locally adjusted copy
+  spice::Circuit circuit_;
+  spice::NodeId vdd_;
+  spice::NodeId ml_;
+  std::vector<spice::NodeId> sl_;
+  std::vector<spice::NodeId> slb_;
+  double t_edge_;
+  double t_end_;
+};
+
+// Adds a driven line: a node with wire capacitance `c_line` and a source
+// stepping from `v0` to `v1` at `t_edge` (20 ps edge) through the line
+// driver impedance. Returns the line node.
+spice::NodeId add_driven_line(spice::Circuit& c, const Calibration& cal,
+                              const std::string& name, double c_line,
+                              double v0, double v1, double t_edge);
+
+// Adds a line held at a constant level through the driver impedance.
+spice::NodeId add_static_line(spice::Circuit& c, const Calibration& cal,
+                              const std::string& name, double c_line,
+                              double level);
+
+}  // namespace nemtcam::tcam

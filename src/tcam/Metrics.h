@@ -1,0 +1,36 @@
+// Result records for circuit-level TCAM transactions.
+#pragma once
+
+#include <string>
+
+namespace nemtcam::tcam {
+
+struct WriteMetrics {
+  bool ok = false;          // all cells reached their target state
+  double latency = 0.0;     // time from write assertion to last cell settled (s)
+  double energy = 0.0;      // net energy delivered by all sources (J)
+  std::string note;         // failure diagnostics
+};
+
+struct SearchMetrics {
+  bool ok = false;            // simulation finished and ML behaved sanely
+  bool matched = false;       // ML stayed up (match) vs discharged (mismatch)
+  double latency = 0.0;       // SL edge → ML crossing sense level (s); 0 if match
+  double energy = 0.0;        // net energy delivered by all sources (J)
+  double ml_final = 0.0;      // ML voltage at the end of the window (V)
+  double ml_min = 0.0;        // minimum ML voltage in the window (V)
+  std::string note;
+
+  double edp() const { return energy * latency; }
+};
+
+struct RefreshMetrics {
+  bool ok = false;
+  double energy_per_op = 0.0;   // J per one-shot refresh of the whole array
+  double latency = 0.0;         // refresh operation duration (s)
+  double retention_time = 0.0;  // worst-case data retention from refresh level (s)
+  double refresh_power = 0.0;   // energy_per_op / retention_time (W)
+  std::string note;
+};
+
+}  // namespace nemtcam::tcam

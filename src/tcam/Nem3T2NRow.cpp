@@ -1,0 +1,334 @@
+#include "tcam/Nem3T2NRow.h"
+
+#include <algorithm>
+
+#include "devices/Mosfet.h"
+#include "devices/NemRelay.h"
+#include "devices/Passive.h"
+#include "devices/Sources.h"
+#include "spice/Transient.h"
+#include "spice/Waveform.h"
+#include "tcam/Harness.h"
+#include "util/Random.h"
+
+namespace nemtcam::tcam {
+
+using namespace nemtcam::devices;
+using spice::Circuit;
+using spice::NodeId;
+using spice::PwlWave;
+using spice::TransientOptions;
+
+namespace {
+
+struct RelayTargets {
+  bool n1_closed;
+  bool n2_closed;
+};
+
+RelayTargets targets_for(Ternary t) {
+  switch (t) {
+    case Ternary::One: return {true, false};
+    case Ternary::Zero: return {false, true};
+    case Ternary::X: return {false, false};
+  }
+  return {false, false};
+}
+
+std::unique_ptr<spice::Waveform> step_wave(double v0, double v1, double t_edge) {
+  return std::make_unique<PwlWave>(std::vector<std::pair<double, double>>{
+      {0.0, v0}, {t_edge, v0}, {t_edge + 20e-12, v1}});
+}
+
+// Draws per-device pull-in/pull-out thresholds around the nominals.
+NemRelayParams varied_relay_params(util::Rng& rng, double sigma) {
+  NemRelayParams np;
+  if (sigma > 0.0) {
+    np.v_pi = rng.normal(np.v_pi, sigma);
+    np.v_po = std::min(rng.normal(np.v_po, sigma), np.v_pi - 0.05);
+  }
+  return np;
+}
+
+}  // namespace
+
+Nem3T2NRow::Nem3T2NRow(int width, int array_rows, const Calibration& cal)
+    : TcamRow(width, array_rows, cal) {}
+
+SearchMetrics Nem3T2NRow::search(const TernaryWord& key) {
+  const Calibration& c = cal();
+  SearchFixture fx(c, c.geo_nem, width(), array_rows(), key);
+  Circuit& ckt = fx.circuit();
+
+  for (int i = 0; i < width(); ++i) {
+    const std::string sfx = std::to_string(i);
+    const NodeId stg1 = ckt.node("stg1_" + sfx);
+    const NodeId stg2 = ckt.node("stg2_" + sfx);
+    const NodeId gs = ckt.node("gs_" + sfx);
+
+    // Write transistors are off during search (WL = BL = 0 ⇒ ground);
+    // they still load and leak the storage nodes.
+    ckt.add<Mosfet>("Tw1_" + sfx, stg1, ckt.ground(), ckt.ground(),
+                    c.nem_write_nmos());
+    ckt.add<Mosfet>("Tw2_" + sfx, stg2, ckt.ground(), ckt.ground(),
+                    c.nem_write_nmos());
+
+    auto& n1 = ckt.add<NemRelay>("N1_" + sfx, fx.slb(i), stg1, gs, ckt.ground());
+    auto& n2 = ckt.add<NemRelay>("N2_" + sfx, fx.sl(i), stg2, gs, ckt.ground());
+    ckt.add<Mosfet>("Ts_" + sfx, fx.ml(), gs, ckt.ground(),
+                    MosfetParams::nmos_lp(c.w_nem_sense));
+
+    const RelayTargets t = targets_for(stored_[static_cast<std::size_t>(i)]);
+    const double v1 = t.n1_closed ? c.v_store_one : 0.0;
+    const double v2 = t.n2_closed ? c.v_store_one : 0.0;
+    n1.set_state(t.n1_closed, v1);
+    n2.set_state(t.n2_closed, v2);
+    if (v1 > 0.0) ckt.set_ic(stg1, v1);
+    if (v2 > 0.0) ckt.set_ic(stg2, v2);
+  }
+
+  const auto result = fx.run();
+  return fx.metrics(result, cal().t_strobe_nem * strobe_scale());
+}
+
+WriteMetrics Nem3T2NRow::simulate_write(const TernaryWord& old_word,
+                                        const TernaryWord& new_word) {
+  const Calibration& c = cal();
+  Circuit ckt;
+  const double t0 = 0.1e-9;
+  const double t_end = t0 + c.t_write_window_nem;
+
+  // Boosted wordline crossing the whole row.
+  const double c_wl = width() * c.c_hline_per_cell(c.geo_nem);
+  const NodeId wl =
+      add_driven_line(ckt, c, "wl", c_wl, 0.0, c.v_wl_write, t0);
+
+  std::vector<NemRelay*> relays1(static_cast<std::size_t>(width()));
+  std::vector<NemRelay*> relays2(static_cast<std::size_t>(width()));
+
+  const double c_bl = array_rows() * c.c_vline_per_cell(c.geo_nem);
+  for (int i = 0; i < width(); ++i) {
+    const std::string sfx = std::to_string(i);
+    const RelayTargets tgt = targets_for(new_word[static_cast<std::size_t>(i)]);
+    const RelayTargets old = targets_for(old_word[static_cast<std::size_t>(i)]);
+
+    const NodeId bl = add_driven_line(ckt, c, "bl" + sfx, c_bl, 0.0,
+                                      tgt.n1_closed ? c.vdd : 0.0, t0);
+    const NodeId blb = add_driven_line(ckt, c, "blb" + sfx, c_bl, 0.0,
+                                       tgt.n2_closed ? c.vdd : 0.0, t0);
+
+    const NodeId stg1 = ckt.node("stg1_" + sfx);
+    const NodeId stg2 = ckt.node("stg2_" + sfx);
+    const NodeId gs = ckt.node("gs_" + sfx);
+
+    ckt.add<Mosfet>("Tw1_" + sfx, stg1, wl, bl,
+                    c.nem_write_nmos());
+    ckt.add<Mosfet>("Tw2_" + sfx, stg2, wl, blb,
+                    c.nem_write_nmos());
+    // During a write SL/SL̄ and ML are held at ground.
+    relays1[static_cast<std::size_t>(i)] =
+        &ckt.add<NemRelay>("N1_" + sfx, ckt.ground(), stg1, gs, ckt.ground());
+    relays2[static_cast<std::size_t>(i)] =
+        &ckt.add<NemRelay>("N2_" + sfx, ckt.ground(), stg2, gs, ckt.ground());
+    ckt.add<Mosfet>("Ts_" + sfx, ckt.ground(), gs, ckt.ground(),
+                    MosfetParams::nmos_lp(c.w_nem_sense));
+
+    const double v1 = old.n1_closed ? c.v_store_one : 0.0;
+    const double v2 = old.n2_closed ? c.v_store_one : 0.0;
+    relays1[static_cast<std::size_t>(i)]->set_state(old.n1_closed, v1);
+    relays2[static_cast<std::size_t>(i)]->set_state(old.n2_closed, v2);
+    if (v1 > 0.0) ckt.set_ic(stg1, v1);
+    if (v2 > 0.0) ckt.set_ic(stg2, v2);
+  }
+
+  TransientOptions opts;
+  opts.t_end = t_end;
+  opts.dt_init = 1e-13;
+  opts.dt_max = 20e-12;
+  const auto result = run_transient(ckt, opts);
+
+  WriteMetrics m;
+  if (!result.finished) {
+    m.note = "transient failed: " + result.failure;
+    return m;
+  }
+  m.energy = result.total_source_energy();
+
+  double latest = 0.0;
+  bool all_ok = true;
+  for (int i = 0; i < width(); ++i) {
+    const RelayTargets tgt = targets_for(new_word[static_cast<std::size_t>(i)]);
+    for (const auto& [relay, want_closed] :
+         {std::pair{relays1[static_cast<std::size_t>(i)], tgt.n1_closed},
+          std::pair{relays2[static_cast<std::size_t>(i)], tgt.n2_closed}}) {
+      if (relay->contact() != want_closed) {
+        all_ok = false;
+        m.note = "relay " + relay->name() + " did not reach target state";
+        continue;
+      }
+      const double t_settle =
+          want_closed ? relay->t_contact_closed() : relay->t_contact_opened();
+      if (t_settle > 0.0) latest = std::max(latest, t_settle - t0);
+    }
+  }
+  m.ok = all_ok;
+  m.latency = latest;
+  return m;
+}
+
+double Nem3T2NRow::simulate_retention(double v_start) const {
+  const Calibration& c = cal();
+  Circuit ckt;
+  const NodeId stg = ckt.node("stg");
+  const NodeId gs = ckt.node("gs");
+  // WL and BL grounded: the write transistor's subthreshold leak drains
+  // the relay gate toward the bitline.
+  ckt.add<Mosfet>("Tw", stg, ckt.ground(), ckt.ground(),
+                  c.nem_write_nmos());
+  auto& relay = ckt.add<NemRelay>("N1", ckt.ground(), stg, gs, ckt.ground());
+  ckt.add<Mosfet>("Ts", ckt.ground(), gs, ckt.ground(),
+                  MosfetParams::nmos_lp(c.w_nem_sense));
+  relay.set_state(true, v_start);
+  ckt.set_ic(stg, v_start);
+
+  TransientOptions opts;
+  opts.t_end = 500e-6;
+  opts.dt_init = 1e-12;
+  opts.dt_max = 100e-9;
+  opts.record = false;
+  const auto result = run_transient(ckt, opts);
+  if (!result.finished) return 0.0;
+  if (relay.contact()) return opts.t_end;  // never lost within the window
+  return relay.t_contact_opened();
+}
+
+RefreshMetrics Nem3T2NRow::one_shot_refresh() const {
+  const Calibration& c = cal();
+  // Worst case: the refresh must arrive before a '1' written at the
+  // refresh level itself decays below V_PO.
+  return refresh_at(c.v_refresh, /*v_pre_one=*/0.25);
+}
+
+RefreshMetrics Nem3T2NRow::refresh_at(double v_refresh, double v_pre_one) const {
+  const Calibration& c = cal();
+
+  // Runs the row-level OSR netlist and returns {energy, latency, ok}.
+  // with_bl_load toggles the column-height bitline capacitance so the
+  // shared-line energy can be separated from the per-row energy.
+  struct OsrRun {
+    double energy = 0.0;
+    double latency = 0.0;
+    bool ok = false;
+    std::string note;
+  };
+  auto run_osr = [&](bool with_bl_load) -> OsrRun {
+    Circuit ckt;
+    util::Rng rng(seed_);
+    // Sequencing matters: the bitlines must already sit at V_R when the
+    // wordlines open, otherwise a stored '1' gate transiently dips below
+    // V_PO through the write transistor — and once the beam starts
+    // releasing, V_R (< V_PI) cannot re-actuate it. OSR therefore raises
+    // all BLs first, then asserts all WLs.
+    const double t0 = 0.1e-9;
+    const double t_wl = t0 + 0.5e-9;
+    const double t_end = t_wl + 5e-9;
+    const double c_wl = width() * c.c_hline_per_cell(c.geo_nem);
+    const NodeId wl = add_driven_line(ckt, c, "wl", c_wl, 0.0, c.v_wl_write, t_wl);
+    const double c_bl =
+        with_bl_load ? array_rows() * c.c_vline_per_cell(c.geo_nem) : 1e-21;
+
+    std::vector<NemRelay*> r1(static_cast<std::size_t>(width()));
+    std::vector<NemRelay*> r2(static_cast<std::size_t>(width()));
+    std::vector<NodeId> stg_nodes;
+    for (int i = 0; i < width(); ++i) {
+      const std::string sfx = std::to_string(i);
+      const NodeId bl =
+          add_driven_line(ckt, c, "bl" + sfx, c_bl, 0.0, v_refresh, t0);
+      const NodeId blb =
+          add_driven_line(ckt, c, "blb" + sfx, c_bl, 0.0, v_refresh, t0);
+      const NodeId stg1 = ckt.node("stg1_" + sfx);
+      const NodeId stg2 = ckt.node("stg2_" + sfx);
+      const NodeId gs = ckt.node("gs_" + sfx);
+      ckt.add<Mosfet>("Tw1_" + sfx, stg1, wl, bl,
+                      c.nem_write_nmos());
+      ckt.add<Mosfet>("Tw2_" + sfx, stg2, wl, blb,
+                      c.nem_write_nmos());
+      r1[static_cast<std::size_t>(i)] = &ckt.add<NemRelay>(
+          "N1_" + sfx, ckt.ground(), stg1, gs, ckt.ground(),
+          varied_relay_params(rng, sigma_vth_));
+      r2[static_cast<std::size_t>(i)] = &ckt.add<NemRelay>(
+          "N2_" + sfx, ckt.ground(), stg2, gs, ckt.ground(),
+          varied_relay_params(rng, sigma_vth_));
+      ckt.add<Mosfet>("Ts_" + sfx, ckt.ground(), gs, ckt.ground(),
+                      MosfetParams::nmos_lp(c.w_nem_sense));
+
+      const RelayTargets t = targets_for(stored_[static_cast<std::size_t>(i)]);
+      const double v1 = t.n1_closed ? v_pre_one : 0.0;
+      const double v2 = t.n2_closed ? v_pre_one : 0.0;
+      r1[static_cast<std::size_t>(i)]->set_state(t.n1_closed, v1);
+      r2[static_cast<std::size_t>(i)]->set_state(t.n2_closed, v2);
+      if (v1 > 0.0) ckt.set_ic(stg1, v1);
+      if (v2 > 0.0) ckt.set_ic(stg2, v2);
+      stg_nodes.push_back(stg1);
+      stg_nodes.push_back(stg2);
+    }
+
+    TransientOptions opts;
+    opts.t_end = t_end;
+    opts.dt_init = 1e-13;
+    opts.dt_max = 20e-12;
+    const auto result = run_transient(ckt, opts);
+
+    OsrRun out;
+    if (!result.finished) {
+      out.note = "transient failed: " + result.failure;
+      return out;
+    }
+    out.energy = result.total_source_energy();
+    out.ok = true;
+    for (int i = 0; i < width(); ++i) {
+      const RelayTargets t = targets_for(stored_[static_cast<std::size_t>(i)]);
+      if (r1[static_cast<std::size_t>(i)]->contact() != t.n1_closed ||
+          r2[static_cast<std::size_t>(i)]->contact() != t.n2_closed) {
+        out.ok = false;
+        out.note = "OSR corrupted stored state at column " + std::to_string(i);
+      }
+    }
+    // Latency: all storage nodes settled to the refresh level.
+    double latest = t0;
+    for (const NodeId n : stg_nodes) {
+      const auto ts = result.node_trace(n).settle_time(v_refresh,
+                                                       0.05 * c.vdd);
+      if (ts.has_value()) latest = std::max(latest, *ts);
+    }
+    out.latency = latest - t0;
+    return out;
+  };
+
+  RefreshMetrics m;
+  const OsrRun full = run_osr(/*with_bl_load=*/true);
+  if (!full.ok) {
+    m.note = full.note;
+    return m;
+  }
+  const OsrRun cells_only = run_osr(/*with_bl_load=*/false);
+  if (!cells_only.ok) {
+    m.note = cells_only.note;
+    return m;
+  }
+
+  // Whole-array decomposition: the bitline (and its driver) energy is
+  // shared by every row and is spent once; wordline + cell-charge energy
+  // repeats per row.
+  const double e_shared = std::max(full.energy - cells_only.energy, 0.0);
+  m.energy_per_op = e_shared + array_rows() * cells_only.energy;
+  m.latency = full.latency;
+  m.retention_time = simulate_retention(v_refresh);
+  if (m.retention_time > 0.0)
+    m.refresh_power = m.energy_per_op / m.retention_time;
+  m.ok = m.retention_time > 0.0;
+  if (!m.ok) m.note = "retention simulation failed";
+  return m;
+}
+
+}  // namespace nemtcam::tcam

@@ -1,0 +1,85 @@
+// Circuit-level TCAM row simulator interface.
+//
+// A TcamRow models one word-row of `width` cells embedded in an array of
+// `array_rows` rows: vertical lines (BL/SL) carry the parasitic load of the
+// full column height, horizontal lines (ML/WL) the load of the full row
+// width — matching the paper's "per-row measurement on a 64×64 array with
+// line parasitics scaled by cell size" methodology.
+//
+// Every transaction (write / search / refresh) builds a fresh transistor-
+// level netlist seeded from the currently stored word and runs a transient
+// analysis on it; metrics come from the waveforms and device state
+// telemetry, exactly like .measure on a SPICE deck.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/Ternary.h"
+#include "tcam/Calibration.h"
+#include "tcam/Metrics.h"
+
+namespace nemtcam::tcam {
+
+using core::Ternary;
+using core::TernaryWord;
+
+// The paper's evaluated designs (Fig. 2 + the 3T2N contribution), plus two
+// designs it describes but does not benchmark: the conventional 5T dynamic
+// CMOS TCAM of ref [4] (the intro's row-by-row-refresh baseline) and the
+// 4T2F FeFET TCAM of Fig. 2(c).
+enum class TcamKind {
+  Sram16T, Nem3T2N, Rram2T2R, Fefet2F,  // the paper's evaluated designs
+  Dtcam5T, Fefet4T2F, Mram4T2M,         // designs it describes (Fig. 2 / §I-II)
+};
+
+const char* kind_name(TcamKind k);
+
+class TcamRow {
+ public:
+  virtual ~TcamRow() = default;
+
+  virtual TcamKind kind() const = 0;
+  int width() const noexcept { return width_; }
+  int array_rows() const noexcept { return array_rows_; }
+  const Calibration& cal() const noexcept { return cal_; }
+
+  // Establishes the stored word instantly (device-state poke, no transaction
+  // simulated). Used to set up search experiments.
+  void store(const TernaryWord& word);
+
+  const TernaryWord& stored() const noexcept { return stored_; }
+
+  // Simulates the full write transaction replacing the stored word.
+  // On success the stored word is updated.
+  WriteMetrics write(const TernaryWord& word);
+
+  // Simulates a search against the stored word.
+  virtual SearchMetrics search(const TernaryWord& key) = 0;
+
+ protected:
+  TcamRow(int width, int array_rows, const Calibration& cal);
+
+  // Sense-strobe scaling for non-reference widths: the ML time constant
+  // has a width-proportional wire/junction part and a fixed part (sense
+  // amp, precharge junction), so the strobe shrinks sub-linearly.
+  double strobe_scale() const {
+    return 0.25 + 0.75 * static_cast<double>(width()) / 64.0;
+  }
+
+  virtual WriteMetrics simulate_write(const TernaryWord& old_word,
+                                      const TernaryWord& new_word) = 0;
+
+  TernaryWord stored_;
+
+ private:
+  int width_;
+  int array_rows_;
+  Calibration cal_;
+};
+
+// Factory.
+std::unique_ptr<TcamRow> make_row(TcamKind kind, int width, int array_rows,
+                                  const Calibration& cal = Calibration::standard());
+
+}  // namespace nemtcam::tcam

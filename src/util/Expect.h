@@ -1,0 +1,53 @@
+// Lightweight contract checks (Core Guidelines I.6/I.8 style).
+//
+// NEMTCAM_EXPECT checks a precondition, NEMTCAM_ENSURE a postcondition or
+// internal invariant. Both throw std::logic_error with file:line context so
+// violations surface in tests rather than as silent corruption. They are
+// always on: this library is a simulator whose value is correctness, and the
+// checks are far from any inner numeric loop.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nemtcam::detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace nemtcam::detail
+
+#define NEMTCAM_EXPECT(cond)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::nemtcam::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                       __LINE__, "");                         \
+  } while (false)
+
+#define NEMTCAM_EXPECT_MSG(cond, msg)                                         \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::nemtcam::detail::contract_fail("precondition", #cond, __FILE__,       \
+                                       __LINE__, (msg));                      \
+  } while (false)
+
+#define NEMTCAM_ENSURE(cond)                                                  \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::nemtcam::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                       __LINE__, "");                         \
+  } while (false)
+
+#define NEMTCAM_ENSURE_MSG(cond, msg)                                         \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::nemtcam::detail::contract_fail("invariant", #cond, __FILE__,          \
+                                       __LINE__, (msg));                      \
+  } while (false)

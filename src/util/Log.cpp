@@ -1,0 +1,37 @@
+#include "util/Log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace nemtcam::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::Warn};
+std::mutex g_mutex;
+
+const char* name_of(Level lvl) {
+  switch (lvl) {
+    case Level::Trace: return "TRACE";
+    case Level::Debug: return "DEBUG";
+    case Level::Info: return "INFO";
+    case Level::Warn: return "WARN";
+    case Level::Error: return "ERROR";
+    case Level::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) noexcept { g_level.store(lvl, std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[nemtcam %s] %s\n", name_of(lvl), msg.c_str());
+}
+
+}  // namespace nemtcam::log

@@ -1,0 +1,43 @@
+// Minimal leveled logger.
+//
+// The simulator is a library, so logging defaults to Warn and writes to
+// stderr; benches and examples may raise the level for progress output.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nemtcam::log {
+
+enum class Level { Trace = 0, Debug, Info, Warn, Error, Off };
+
+// Global threshold; messages below it are dropped.
+Level level() noexcept;
+void set_level(Level lvl) noexcept;
+
+void write(Level lvl, const std::string& msg);
+
+namespace detail {
+
+template <typename... Args>
+void emit(Level lvl, Args&&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void trace(Args&&... args) { detail::emit(Level::Trace, std::forward<Args>(args)...); }
+template <typename... Args>
+void debug(Args&&... args) { detail::emit(Level::Debug, std::forward<Args>(args)...); }
+template <typename... Args>
+void info(Args&&... args) { detail::emit(Level::Info, std::forward<Args>(args)...); }
+template <typename... Args>
+void warn(Args&&... args) { detail::emit(Level::Warn, std::forward<Args>(args)...); }
+template <typename... Args>
+void error(Args&&... args) { detail::emit(Level::Error, std::forward<Args>(args)...); }
+
+}  // namespace nemtcam::log

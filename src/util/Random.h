@@ -1,0 +1,58 @@
+// Deterministic random-number utilities for Monte-Carlo variation studies.
+//
+// A thin wrapper around std::mt19937_64 so that every experiment seeds
+// explicitly (reproducible runs) and draws through named distributions.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/Expect.h"
+
+namespace nemtcam::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    NEMTCAM_EXPECT(lo < hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    NEMTCAM_EXPECT(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  // Gaussian with the given mean and standard deviation.
+  double normal(double mean, double sigma) {
+    NEMTCAM_EXPECT(sigma >= 0.0);
+    if (sigma == 0.0) return mean;
+    return std::normal_distribution<double>(mean, sigma)(engine_);
+  }
+
+  // Log-normal such that the *median* of the distribution is `median` and
+  // log-domain sigma is `sigma_log` (natural log). Standard for resistance
+  // variation of filamentary RRAM.
+  double lognormal_median(double median, double sigma_log) {
+    NEMTCAM_EXPECT(median > 0.0);
+    NEMTCAM_EXPECT(sigma_log >= 0.0);
+    if (sigma_log == 0.0) return median;
+    return median * std::exp(normal(0.0, sigma_log));
+  }
+
+  bool bernoulli(double p) {
+    NEMTCAM_EXPECT(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace nemtcam::util

@@ -1,0 +1,79 @@
+#include "util/Table.h"
+
+#include <cmath>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+
+#include "util/Expect.h"
+
+namespace nemtcam::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  NEMTCAM_EXPECT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  NEMTCAM_EXPECT_MSG(cells.size() == headers_.size(),
+                     "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << " " << std::left << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(widths[c] + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string si_format(double value, const std::string& unit, int precision) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"},  {1.0, ""},   {1e-3, "m"},
+      {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"}, {1e-18, "a"},
+  };
+  std::ostringstream os;
+  if (value == 0.0) {
+    os << "0 " << unit;
+    return os.str();
+  }
+  const double mag = std::fabs(value);
+  for (const auto& p : kPrefixes) {
+    if (mag >= p.scale) {
+      os << std::setprecision(precision) << std::defaultfloat
+         << value / p.scale << " " << p.name << unit;
+      return os.str();
+    }
+  }
+  os << std::scientific << std::setprecision(precision) << value << " " << unit;
+  return os.str();
+}
+
+std::string ratio_format(double ratio, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << ratio << "x";
+  return os.str();
+}
+
+}  // namespace nemtcam::util

@@ -1,0 +1,40 @@
+// Fixed-width ASCII table printer for bench output.
+//
+// Benches print the same rows/series the paper's tables and figures report;
+// this keeps that output aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nemtcam::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  // Adds one row. Must have the same number of cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders the whole table, including a header separator, ending in '\n'.
+  std::string to_string() const;
+
+  // Convenience: render and write to stdout.
+  void print() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double in engineering style with an SI prefix for the given
+// unit, e.g. si_format(3.5e-13, "J") == "350.0 fJ". Covers a (atto) through
+// G (giga); values outside that range fall back to scientific notation.
+std::string si_format(double value, const std::string& unit, int precision = 4);
+
+// Formats a plain ratio like "2.31x".
+std::string ratio_format(double ratio, int precision = 2);
+
+}  // namespace nemtcam::util

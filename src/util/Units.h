@@ -1,0 +1,87 @@
+// SI unit helpers for circuit quantities.
+//
+// All internal quantities in nemtcam are plain `double` in base SI units
+// (seconds, volts, amperes, farads, ohms, joules, watts). These constants
+// and user-defined literals make magnitudes readable at construction sites:
+//
+//   double c = 20 * units::aF;      // 2e-17 F
+//   double t = 2.0_ns;              // 2e-9 s
+#pragma once
+
+namespace nemtcam::units {
+
+// Time.
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+inline constexpr double ps = 1e-12;
+inline constexpr double fs = 1e-15;
+
+// Capacitance.
+inline constexpr double F = 1.0;
+inline constexpr double uF = 1e-6;
+inline constexpr double nF = 1e-9;
+inline constexpr double pF = 1e-12;
+inline constexpr double fF = 1e-15;
+inline constexpr double aF = 1e-18;
+
+// Resistance.
+inline constexpr double Ohm = 1.0;
+inline constexpr double kOhm = 1e3;
+inline constexpr double MOhm = 1e6;
+inline constexpr double GOhm = 1e9;
+
+// Voltage / current.
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+inline constexpr double uV = 1e-6;
+inline constexpr double A = 1.0;
+inline constexpr double mA = 1e-3;
+inline constexpr double uA = 1e-6;
+inline constexpr double nA = 1e-9;
+inline constexpr double pA = 1e-12;
+
+// Energy / power.
+inline constexpr double J = 1.0;
+inline constexpr double pJ = 1e-12;
+inline constexpr double fJ = 1e-15;
+inline constexpr double aJ = 1e-18;
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double uW = 1e-6;
+inline constexpr double nW = 1e-9;
+
+// Length (for parasitic wire models).
+inline constexpr double m = 1.0;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+}  // namespace nemtcam::units
+
+namespace nemtcam::literals {
+
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+constexpr double operator""_aF(long double v) { return static_cast<double>(v) * 1e-18; }
+
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+
+constexpr double operator""_pJ(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fJ(long double v) { return static_cast<double>(v) * 1e-15; }
+
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+
+}  // namespace nemtcam::literals

@@ -1,0 +1,125 @@
+// Tests for the architecture extensions: endurance tracking and banking.
+#include <gtest/gtest.h>
+
+#include "arch/BankedTcam.h"
+#include "arch/Endurance.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::arch;
+using core::TcamTech;
+using core::Ternary;
+using core::TernaryWord;
+
+// --- Endurance ---------------------------------------------------------------
+
+TEST(Endurance, SpecOrderingMatchesLiterature) {
+  EXPECT_GT(endurance_spec(TcamTech::Sram16T).rated_cycles,
+            endurance_spec(TcamTech::Nem3T2N).rated_cycles);
+  EXPECT_GT(endurance_spec(TcamTech::Nem3T2N).rated_cycles,
+            endurance_spec(TcamTech::Fefet2F).rated_cycles);
+  EXPECT_GT(endurance_spec(TcamTech::Fefet2F).rated_cycles,
+            endurance_spec(TcamTech::Rram2T2R).rated_cycles);
+}
+
+TEST(Endurance, OnlyChangedBitsCycle) {
+  EnduranceTracker t(TcamTech::Nem3T2N, 4, 8);
+  // First write: everything counts (cells leave the unknown state).
+  EXPECT_EQ(t.record_write(0, TernaryWord("10101010")), 8);
+  // Same word again: nothing flips.
+  EXPECT_EQ(t.record_write(0, TernaryWord("10101010")), 0);
+  // Two bits change.
+  EXPECT_EQ(t.record_write(0, TernaryWord("00101011")), 2);
+  EXPECT_EQ(t.worst_cell_cycles(), 2u);
+}
+
+TEST(Endurance, OneShotRefreshDoesNotWearRelays) {
+  EnduranceTracker t(TcamTech::Nem3T2N, 4, 8);
+  t.record_write(0, TernaryWord("11111111"));
+  const auto before = t.worst_cell_cycles();
+  for (int i = 0; i < 1000; ++i) t.record_one_shot_refresh();
+  EXPECT_EQ(t.worst_cell_cycles(), before);
+}
+
+TEST(Endurance, LifetimeScalesInverselyWithWriteRate) {
+  EnduranceTracker t(TcamTech::Rram2T2R, 64, 64);
+  const double slow = t.lifetime_at_write_rate(1e3);
+  const double fast = t.lifetime_at_write_rate(1e6);
+  EXPECT_NEAR(slow / fast, 1e3, 1.0);
+  // 1e7 cycles / (1e6/64 cell-cycles per second) = 640 s.
+  EXPECT_NEAR(fast, 640.0, 1.0);
+}
+
+TEST(Endurance, WearFractionTracksRating) {
+  EnduranceTracker t(TcamTech::Rram2T2R, 1, 1);
+  TernaryWord a("1"), b("0");
+  for (int i = 0; i < 500; ++i) {
+    t.record_write(0, a);
+    t.record_write(0, b);
+  }
+  EXPECT_EQ(t.worst_cell_cycles(), 1000u);
+  EXPECT_NEAR(t.worst_wear_fraction(), 1000.0 / 1e7, 1e-12);
+}
+
+TEST(Endurance, BoundsChecked) {
+  EnduranceTracker t(TcamTech::Nem3T2N, 2, 4);
+  EXPECT_THROW(t.record_write(2, TernaryWord("0000")), std::logic_error);
+  EXPECT_THROW(t.record_write(0, TernaryWord("00")), std::logic_error);
+}
+
+// --- BankedTcam ----------------------------------------------------------------
+
+TEST(BankedTcam, GlobalAddressingAndPriority) {
+  BankedTcam t(TcamTech::Nem3T2N, /*banks=*/4, /*rows_per_bank=*/8, 8);
+  EXPECT_EQ(t.capacity(), 32);
+  t.write(3, TernaryWord("1010XXXX"));   // bank 0
+  t.write(17, TernaryWord("10100000"));  // bank 2
+  const auto hits = t.search(TernaryWord("10100000"));
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 3);
+  EXPECT_EQ(hits[1], 17);
+  EXPECT_EQ(t.search_first(TernaryWord("10100000")).value(), 3);
+}
+
+TEST(BankedTcam, EraseRemovesEntry) {
+  BankedTcam t(TcamTech::Nem3T2N, 2, 4, 4);
+  t.write(5, TernaryWord("1111"));
+  EXPECT_TRUE(t.search_first(TernaryWord("1111")).has_value());
+  t.erase(5);
+  EXPECT_FALSE(t.search_first(TernaryWord("1111")).has_value());
+}
+
+TEST(BankedTcam, RefreshesAreStaggered) {
+  BankedTcam t(TcamTech::Nem3T2N, 4, 16, 16);
+  for (int r = 0; r < t.capacity(); r += 5)
+    t.write(r, TernaryWord::all_x(16));
+  // Advance ~3 retention periods; every bank must have refreshed and no
+  // data may be lost.
+  const double retention = t.bank(0).costs().retention_time();
+  t.advance(3.2 * retention);
+  const auto ledger = t.total_ledger();
+  EXPECT_GE(ledger.refreshes, 4u * 3u);
+  EXPECT_EQ(ledger.retention_losses, 0u);
+  // Staggering: the banks' next deadlines differ — verified indirectly by
+  // the refresh counts being spread over time rather than synchronized at
+  // construction (each bank was pre-advanced a different phase).
+  for (int r = 0; r < t.capacity(); r += 5)
+    EXPECT_TRUE(t.bank(r / 16).live(r % 16));
+}
+
+TEST(BankedTcam, SearchAggregatesAcrossBanks) {
+  BankedTcam t(TcamTech::Sram16T, 3, 4, 4);
+  for (int r = 0; r < t.capacity(); ++r) t.write(r, TernaryWord("XXXX"));
+  EXPECT_EQ(t.search(TernaryWord("0000")).size(),
+            static_cast<std::size_t>(t.capacity()));
+  EXPECT_EQ(t.total_ledger().searches, 3u);  // one search op per bank
+}
+
+TEST(BankedTcam, BoundsChecked) {
+  BankedTcam t(TcamTech::Nem3T2N, 2, 4, 4);
+  EXPECT_THROW(t.write(8, TernaryWord("0000")), std::logic_error);
+  EXPECT_THROW(t.write(-1, TernaryWord("0000")), std::logic_error);
+}
+
+}  // namespace

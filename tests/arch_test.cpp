@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include "arch/AssocCache.h"
+#include "arch/LpmTable.h"
+#include "arch/PacketClassifier.h"
+#include "arch/RefreshController.h"
+#include "util/Random.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::arch;
+using core::TcamTech;
+
+// --- IPv4 helpers ----------------------------------------------------------
+
+TEST(Ipv4, ParseFormatRoundTrip) {
+  EXPECT_EQ(parse_ipv4("10.0.0.1"), 0x0A000001u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xFFFFFFFFu);
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(format_ipv4(0xC0A80101u), "192.168.1.1");
+  EXPECT_EQ(format_ipv4(parse_ipv4("172.16.254.3")), "172.16.254.3");
+}
+
+TEST(Ipv4, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_ipv4("10.0.0"), std::logic_error);
+  EXPECT_THROW(parse_ipv4("10.0.0.300"), std::logic_error);
+  EXPECT_THROW(parse_ipv4("ten.zero.zero.one"), std::logic_error);
+}
+
+// --- LpmTable ---------------------------------------------------------------
+
+TEST(LpmTable, LongestPrefixWins) {
+  LpmTable t(16);
+  ASSERT_TRUE(t.insert({parse_ipv4("10.0.0.0"), 8, 100}));
+  ASSERT_TRUE(t.insert({parse_ipv4("10.1.0.0"), 16, 200}));
+  ASSERT_TRUE(t.insert({parse_ipv4("10.1.2.0"), 24, 300}));
+
+  EXPECT_EQ(t.lookup(parse_ipv4("10.1.2.3")).value().next_hop, 300u);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.1.9.9")).value().next_hop, 200u);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.9.9.9")).value().next_hop, 100u);
+  EXPECT_FALSE(t.lookup(parse_ipv4("11.0.0.1")).has_value());
+}
+
+TEST(LpmTable, DefaultRouteCatchesAll) {
+  LpmTable t(4);
+  ASSERT_TRUE(t.insert({0, 0, 1}));  // 0.0.0.0/0
+  EXPECT_EQ(t.lookup(parse_ipv4("8.8.8.8")).value().next_hop, 1u);
+  ASSERT_TRUE(t.insert({parse_ipv4("8.8.8.0"), 24, 2}));
+  EXPECT_EQ(t.lookup(parse_ipv4("8.8.8.8")).value().next_hop, 2u);
+  EXPECT_EQ(t.lookup(parse_ipv4("9.9.9.9")).value().next_hop, 1u);
+}
+
+TEST(LpmTable, InsertNormalizesHostBits) {
+  LpmTable t(4);
+  ASSERT_TRUE(t.insert({parse_ipv4("192.168.1.77"), 24, 5}));
+  const auto r = t.lookup(parse_ipv4("192.168.1.200"));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->prefix, parse_ipv4("192.168.1.0"));
+}
+
+TEST(LpmTable, ReplaceExistingPrefix) {
+  LpmTable t(4);
+  ASSERT_TRUE(t.insert({parse_ipv4("10.0.0.0"), 8, 1}));
+  ASSERT_TRUE(t.insert({parse_ipv4("10.0.0.0"), 8, 9}));
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.lookup(parse_ipv4("10.5.5.5")).value().next_hop, 9u);
+}
+
+TEST(LpmTable, RemoveRestoresShorterMatch) {
+  LpmTable t(8);
+  ASSERT_TRUE(t.insert({parse_ipv4("10.0.0.0"), 8, 1}));
+  ASSERT_TRUE(t.insert({parse_ipv4("10.1.0.0"), 16, 2}));
+  EXPECT_EQ(t.lookup(parse_ipv4("10.1.1.1")).value().next_hop, 2u);
+  ASSERT_TRUE(t.remove(parse_ipv4("10.1.0.0"), 16));
+  EXPECT_EQ(t.lookup(parse_ipv4("10.1.1.1")).value().next_hop, 1u);
+  EXPECT_FALSE(t.remove(parse_ipv4("10.1.0.0"), 16));
+}
+
+TEST(LpmTable, CapacityEnforced) {
+  LpmTable t(2);
+  EXPECT_TRUE(t.insert({parse_ipv4("1.0.0.0"), 8, 1}));
+  EXPECT_TRUE(t.insert({parse_ipv4("2.0.0.0"), 8, 2}));
+  EXPECT_FALSE(t.insert({parse_ipv4("3.0.0.0"), 8, 3}));
+  EXPECT_EQ(t.size(), 2);
+}
+
+TEST(LpmTable, LedgerTracksOperations) {
+  LpmTable t(8);
+  t.insert({parse_ipv4("10.0.0.0"), 8, 1});
+  t.lookup(parse_ipv4("10.0.0.1"));
+  t.lookup(parse_ipv4("10.0.0.2"));
+  EXPECT_GE(t.ledger().writes, 1u);
+  EXPECT_EQ(t.ledger().searches, 2u);
+  EXPECT_GT(t.ledger().energy, 0.0);
+}
+
+// Property: LPM against a brute-force reference on random route sets.
+TEST(LpmTable, MatchesBruteForceReference) {
+  util::Rng rng(7);
+  LpmTable t(64);
+  std::vector<Route> routes;
+  for (int i = 0; i < 40; ++i) {
+    Route r;
+    r.length = rng.uniform_int(4, 28);
+    const auto raw = static_cast<std::uint32_t>(rng.engine()());
+    r.prefix = r.length == 0 ? 0 : (raw & ~((1u << (32 - r.length)) - 1u));
+    r.next_hop = static_cast<std::uint32_t>(i + 1);
+    if (t.insert(r)) {
+      // Mirror replacement semantics.
+      bool replaced = false;
+      for (auto& e : routes)
+        if (e.prefix == r.prefix && e.length == r.length) {
+          e = r;
+          replaced = true;
+        }
+      if (!replaced) routes.push_back(r);
+    }
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto addr = static_cast<std::uint32_t>(rng.engine()());
+    const Route* best = nullptr;
+    for (const auto& r : routes) {
+      const std::uint32_t mask =
+          r.length == 0 ? 0u : ~((1u << (32 - r.length)) - 1u);
+      if ((addr & mask) == r.prefix && (!best || r.length > best->length))
+        best = &r;
+    }
+    const auto got = t.lookup(addr);
+    if (best == nullptr) {
+      EXPECT_FALSE(got.has_value()) << format_ipv4(addr);
+    } else {
+      ASSERT_TRUE(got.has_value()) << format_ipv4(addr);
+      EXPECT_EQ(got->length, best->length) << format_ipv4(addr);
+    }
+  }
+}
+
+// --- Port-range expansion -----------------------------------------------
+
+TEST(PortRange, ExactPortIsOnePrefix) {
+  const auto p = expand_port_range(80, 80);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].first, 80);
+  EXPECT_EQ(p[0].second, 16);
+}
+
+TEST(PortRange, FullRangeIsOneWildcard) {
+  const auto p = expand_port_range(0, 0xffff);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].second, 0);
+}
+
+TEST(PortRange, AlignedPowerOfTwoBlock) {
+  const auto p = expand_port_range(1024, 2047);  // exactly 1024..2047
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0].first, 1024);
+  EXPECT_EQ(p[0].second, 6);  // 10 wildcard bits
+}
+
+TEST(PortRange, CoversExactlyTheRange) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int lo = rng.uniform_int(0, 65535);
+    const int hi = rng.uniform_int(lo, 65535);
+    const auto prefixes =
+        expand_port_range(static_cast<std::uint16_t>(lo),
+                          static_cast<std::uint16_t>(hi));
+    // Each port in [lo, hi] is covered exactly once; outside ports never.
+    auto covered = [&](int port) {
+      int count = 0;
+      for (const auto& [val, len] : prefixes) {
+        const int wild = 16 - len;
+        const int base = val >> wild << wild;
+        if (port >= base && port < base + (1 << wild)) ++count;
+      }
+      return count;
+    };
+    for (int probe : {lo, hi, (lo + hi) / 2}) EXPECT_EQ(covered(probe), 1);
+    if (lo > 0) EXPECT_EQ(covered(lo - 1), 0);
+    if (hi < 65535) EXPECT_EQ(covered(hi + 1), 0);
+  }
+}
+
+TEST(PortRange, WorstCaseSizeIsBounded) {
+  // Classic result: a 16-bit range expands to at most 2*16−2 = 30 prefixes.
+  const auto p = expand_port_range(1, 65534);
+  EXPECT_LE(p.size(), 30u);
+  EXPECT_GT(p.size(), 20u);
+}
+
+// --- PacketClassifier --------------------------------------------------------
+
+PacketHeader make_pkt(const std::string& src, const std::string& dst,
+                      std::uint8_t proto, std::uint16_t port) {
+  return {parse_ipv4(src), parse_ipv4(dst), proto, port};
+}
+
+TEST(PacketClassifier, FirstRuleWins) {
+  PacketClassifier c(64);
+  ASSERT_GT(c.add_rule({parse_ipv4("10.0.0.0"), 8, 0, 0, 6, 80, 80, "web"}), 0);
+  ASSERT_GT(c.add_rule({parse_ipv4("10.0.0.0"), 8, 0, 0, std::nullopt, 0,
+                        0xffff, "intranet"}), 0);
+  ASSERT_GT(c.add_rule({0, 0, 0, 0, std::nullopt, 0, 0xffff, "drop"}), 0);
+
+  EXPECT_EQ(c.classify(make_pkt("10.1.1.1", "8.8.8.8", 6, 80)).value(), "web");
+  EXPECT_EQ(c.classify(make_pkt("10.1.1.1", "8.8.8.8", 6, 443)).value(),
+            "intranet");
+  EXPECT_EQ(c.classify(make_pkt("11.1.1.1", "8.8.8.8", 6, 80)).value(), "drop");
+}
+
+TEST(PacketClassifier, ProtocolFilter) {
+  PacketClassifier c(16);
+  ASSERT_GT(c.add_rule({0, 0, 0, 0, 17, 53, 53, "dns-udp"}), 0);
+  EXPECT_EQ(c.classify(make_pkt("1.1.1.1", "2.2.2.2", 17, 53)).value(),
+            "dns-udp");
+  EXPECT_FALSE(c.classify(make_pkt("1.1.1.1", "2.2.2.2", 6, 53)).has_value());
+}
+
+TEST(PacketClassifier, PortRangeRuleUsesMultipleRows) {
+  PacketClassifier c(64);
+  const int rows = c.add_rule({0, 0, 0, 0, 6, 1000, 1999, "range"});
+  EXPECT_GT(rows, 1);
+  EXPECT_EQ(c.rows_used(), rows);
+  EXPECT_EQ(c.classify(make_pkt("1.1.1.1", "2.2.2.2", 6, 1500)).value(),
+            "range");
+  EXPECT_EQ(c.classify(make_pkt("1.1.1.1", "2.2.2.2", 6, 1000)).value(),
+            "range");
+  EXPECT_EQ(c.classify(make_pkt("1.1.1.1", "2.2.2.2", 6, 1999)).value(),
+            "range");
+  EXPECT_FALSE(c.classify(make_pkt("1.1.1.1", "2.2.2.2", 6, 2000)).has_value());
+  EXPECT_FALSE(c.classify(make_pkt("1.1.1.1", "2.2.2.2", 6, 999)).has_value());
+}
+
+TEST(PacketClassifier, RejectsWhenFull) {
+  PacketClassifier c(2);
+  EXPECT_GT(c.add_rule({0, 0, 0, 0, 6, 80, 80, "a"}), 0);
+  EXPECT_GT(c.add_rule({0, 0, 0, 0, 6, 81, 81, "b"}), 0);
+  EXPECT_EQ(c.add_rule({0, 0, 0, 0, 6, 82, 82, "c"}), 0);
+  EXPECT_EQ(c.rule_count(), 2);
+}
+
+TEST(PacketClassifier, DstPrefixMatch) {
+  PacketClassifier c(16);
+  ASSERT_GT(c.add_rule({0, 0, parse_ipv4("192.168.0.0"), 16, std::nullopt, 0,
+                        0xffff, "lan"}), 0);
+  EXPECT_TRUE(c.classify(make_pkt("1.1.1.1", "192.168.55.3", 6, 22)).has_value());
+  EXPECT_FALSE(c.classify(make_pkt("1.1.1.1", "192.169.0.1", 6, 22)).has_value());
+}
+
+// --- AssocCache ---------------------------------------------------------------
+
+TEST(AssocCache, HitAfterMiss) {
+  AssocCache cache(8, 64);
+  EXPECT_FALSE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1000));
+  EXPECT_TRUE(cache.access(0x1008));  // same 64 B line
+  EXPECT_FALSE(cache.access(0x2000));
+  EXPECT_EQ(cache.stats().accesses, 4u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(AssocCache, LruEviction) {
+  AssocCache cache(2, 64);
+  cache.access(0x0000);  // miss, fill way A
+  cache.access(0x1000);  // miss, fill way B
+  cache.access(0x0000);  // hit — A is now MRU
+  cache.access(0x2000);  // miss — evicts B (LRU)
+  EXPECT_TRUE(cache.contains(0x0000));
+  EXPECT_FALSE(cache.contains(0x1000));
+  EXPECT_TRUE(cache.contains(0x2000));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(AssocCache, InvalidateRemovesLine) {
+  AssocCache cache(4, 64);
+  cache.access(0x4000);
+  EXPECT_TRUE(cache.invalidate(0x4000));
+  EXPECT_FALSE(cache.contains(0x4000));
+  EXPECT_FALSE(cache.invalidate(0x4000));
+}
+
+TEST(AssocCache, FullyAssociativeNoConflictMisses) {
+  // 8 ways, 8 distinct lines accessed cyclically: after the first pass,
+  // everything hits forever (no conflict evictions).
+  AssocCache cache(8, 64);
+  for (int pass = 0; pass < 3; ++pass)
+    for (int i = 0; i < 8; ++i) cache.access(static_cast<std::uint64_t>(i) << 6);
+  EXPECT_EQ(cache.stats().hits, 16u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(AssocCache, RejectsBadLineSize) {
+  EXPECT_THROW(AssocCache(4, 48), std::logic_error);
+}
+
+TEST(AssocCache, LedgerCountsTcamOps) {
+  AssocCache cache(4, 64);
+  cache.access(0x1000);
+  cache.access(0x1000);
+  EXPECT_GE(cache.ledger().searches, 2u);
+  EXPECT_GE(cache.ledger().writes, 1u);
+}
+
+// --- RefreshController -------------------------------------------------------
+
+TEST(RefreshSim, OneShotBeatsRowByRowOnStalls) {
+  RefreshSimConfig cfg;
+  cfg.sim_time = 300e-6;
+  cfg.search_rate_hz = 50e6;
+  cfg.seed = 3;
+
+  cfg.policy = RefreshPolicy::OneShot;
+  const auto osr = simulate_refresh_interference(cfg);
+  cfg.policy = RefreshPolicy::RowByRow;
+  const auto row = simulate_refresh_interference(cfg);
+
+  EXPECT_EQ(osr.searches_issued, row.searches_issued);  // same seed/trace
+  EXPECT_LT(osr.refresh_busy_time, row.refresh_busy_time);
+  EXPECT_LT(osr.refresh_energy, row.refresh_energy);
+  EXPECT_LE(osr.avg_search_wait(), row.avg_search_wait());
+  EXPECT_LT(osr.refresh_ops, row.refresh_ops);
+}
+
+TEST(RefreshSim, NonePolicyHasNoRefreshCost) {
+  RefreshSimConfig cfg;
+  cfg.policy = RefreshPolicy::None;
+  cfg.sim_time = 100e-6;
+  const auto r = simulate_refresh_interference(cfg);
+  EXPECT_EQ(r.refresh_ops, 0u);
+  EXPECT_EQ(r.refresh_energy, 0.0);
+  EXPECT_EQ(r.refresh_busy_time, 0.0);
+}
+
+TEST(RefreshSim, AllSearchesServed) {
+  RefreshSimConfig cfg;
+  cfg.policy = RefreshPolicy::OneShot;
+  cfg.sim_time = 100e-6;
+  cfg.search_rate_hz = 10e6;
+  const auto r = simulate_refresh_interference(cfg);
+  EXPECT_EQ(r.searches_served, r.searches_issued);
+  EXPECT_GT(r.searches_issued, 500u);
+}
+
+TEST(RefreshSim, RowByRowOpsCountMatchesRows) {
+  RefreshSimConfig cfg;
+  cfg.policy = RefreshPolicy::RowByRow;
+  cfg.rows = 64;
+  cfg.sim_time = 267e-6;  // ~10 retention periods at 26.7 µs
+  cfg.search_rate_hz = 1e6;
+  const auto r = simulate_refresh_interference(cfg);
+  // ~64 row ops per retention period.
+  EXPECT_GT(r.refresh_ops, 550u);
+  EXPECT_LT(r.refresh_ops, 700u);
+}
+
+TEST(RefreshSim, PolicyNames) {
+  EXPECT_STREQ(policy_name(RefreshPolicy::OneShot), "one-shot");
+  EXPECT_STREQ(policy_name(RefreshPolicy::RowByRow), "row-by-row");
+  EXPECT_STREQ(policy_name(RefreshPolicy::None), "none");
+}
+
+}  // namespace

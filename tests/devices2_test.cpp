@@ -1,0 +1,207 @@
+// Tests for the extended device set: diode, inductor, controlled sources.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "devices/Controlled.h"
+#include "devices/Diode.h"
+#include "devices/Inductor.h"
+#include "devices/Passive.h"
+#include "devices/Sources.h"
+#include "spice/Circuit.h"
+#include "spice/Newton.h"
+#include "spice/Transient.h"
+#include "spice/Waveform.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::spice;
+using namespace nemtcam::devices;
+
+double node_v(const DcResult& dc, NodeId n) {
+  return dc.v[static_cast<std::size_t>(n - 1)];
+}
+
+// --- Diode ------------------------------------------------------------------
+
+TEST(Diode, ForwardDropIsAbout0p6V) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId a = c.node("a");
+  c.add<VSource>("V1", vin, c.ground(), 3.0);
+  c.add<Resistor>("R1", vin, a, 10e3);
+  c.add<Diode>("D1", a, c.ground());
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  const double vd = node_v(dc, a);
+  EXPECT_GT(vd, 0.55);
+  EXPECT_LT(vd, 0.75);
+}
+
+TEST(Diode, ReverseBiasBlocksCurrent) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId a = c.node("a");
+  c.add<VSource>("V1", vin, c.ground(), -3.0);
+  c.add<Resistor>("R1", vin, a, 10e3);
+  c.add<Diode>("D1", a, c.ground());
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  // Only the (pico-scale) saturation current flows: node a ≈ −3 V.
+  EXPECT_NEAR(node_v(dc, a), -3.0, 1e-3);
+}
+
+TEST(Diode, CurrentFollowsShockley) {
+  DiodeParams p;
+  Diode d("d", 1, 0, p);
+  const double i1 = d.current_at(0.6);
+  const double i2 = d.current_at(0.6 + 0.02585 * std::log(10.0));
+  EXPECT_NEAR(i2 / i1, 10.0, 0.01);  // a decade per 59.6 mV at n=1
+  EXPECT_LT(d.current_at(-1.0), 0.0);
+  EXPECT_NEAR(d.current_at(-1.0), -p.i_sat, 1e-18);
+}
+
+TEST(Diode, HalfWaveRectifier) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId out = c.node("out");
+  c.add<VSource>("V1", vin, c.ground(),
+                 std::make_unique<SinWave>(0.0, 2.0, 100e6));
+  c.add<Diode>("D1", vin, out);
+  c.add<Resistor>("Rl", out, c.ground(), 1e3);
+  c.add<Capacitor>("Cl", out, c.ground(), 100e-15);
+  TransientOptions opts;
+  opts.t_end = 30e-9;
+  opts.dt_max = 50e-12;
+  const auto res = run_transient(c, opts);
+  ASSERT_TRUE(res.finished) << res.failure;
+  const Trace v = res.node_trace(out);
+  EXPECT_GT(v.max_value(), 1.0);     // peaks pass (minus the diode drop)
+  EXPECT_GT(v.min_value(), -0.2);    // negative half-waves blocked
+}
+
+// --- Inductor ---------------------------------------------------------------
+
+TEST(Inductor, DcActsAsShort) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId mid = c.node("mid");
+  c.add<VSource>("V1", vin, c.ground(), 1.0);
+  c.add<Resistor>("R1", vin, mid, 1e3);
+  c.add<Inductor>("L1", mid, c.ground(), 1e-6);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(node_v(dc, mid), 0.0, 1e-9);
+}
+
+TEST(Inductor, RlRiseTimeMatchesAnalytic) {
+  // i(t) = (V/R)(1 − e^{−tR/L}); τ = L/R = 1 µH / 1 kΩ = 1 ns.
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId mid = c.node("mid");
+  c.add<VSource>("V1", vin, c.ground(),
+                 std::make_unique<PulseWave>(0.0, 1.0, 0.1e-9, 1e-12, 1e-12, 1.0));
+  c.add<Resistor>("R1", vin, mid, 1e3);
+  auto& ind = c.add<Inductor>("L1", mid, c.ground(), 1e-6);
+  TransientOptions opts;
+  opts.t_end = 8e-9;
+  opts.dt_max = 5e-12;
+  const auto res = run_transient(c, opts);
+  ASSERT_TRUE(res.finished) << res.failure;
+  // Final current → 1 mA; check the 1τ point ≈ 63.2%.
+  EXPECT_NEAR(ind.current(), 1e-3, 2e-5);
+  const Trace vm = res.node_trace(mid);
+  // v_mid(t) = e^{−t/τ} during the rise.
+  EXPECT_NEAR(vm.at(0.1e-9 + 1e-9), std::exp(-1.0), 0.02);
+}
+
+TEST(Inductor, LcOscillationFrequency) {
+  // LC tank: f = 1/(2π√(LC)) with L=1 µH, C=1 pF → ~159 MHz.
+  Circuit c;
+  const NodeId n = c.node("tank");
+  c.add<Inductor>("L1", n, c.ground(), 1e-6);
+  c.add<Capacitor>("C1", n, c.ground(), 1e-12);
+  // Light damping so the numerical dissipation of BE doesn't kill it fast.
+  c.add<Resistor>("Rp", n, c.ground(), 1e6);
+  c.set_ic(n, 1.0);
+  TransientOptions opts;
+  opts.t_end = 20e-9;
+  opts.dt_max = 10e-12;
+  const auto res = run_transient(c, opts);
+  ASSERT_TRUE(res.finished) << res.failure;
+  const Trace v = res.node_trace(n);
+  // Period from the first two downward zero crossings.
+  const auto z1 = v.cross_time(0.0, false, 0.0);
+  ASSERT_TRUE(z1.has_value());
+  const auto z2 = v.cross_time(0.0, false, *z1 + 2e-9);
+  ASSERT_TRUE(z2.has_value());
+  const double period = *z2 - *z1;
+  EXPECT_NEAR(period, 2 * M_PI * std::sqrt(1e-6 * 1e-12), 0.3e-9);
+}
+
+// --- Controlled sources ------------------------------------------------------
+
+TEST(Vcvs, AmplifiesControlVoltage) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VSource>("V1", in, c.ground(), 0.2);
+  c.add<Vcvs>("E1", out, c.ground(), in, c.ground(), 5.0);
+  c.add<Resistor>("Rl", out, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(node_v(dc, out), 1.0, 1e-9);
+}
+
+TEST(Vccs, InjectsProportionalCurrent) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  c.add<VSource>("V1", in, c.ground(), 0.5);
+  // 1 mS from the control voltage into a 1 kΩ load: v_out = −g·v_in·R.
+  c.add<Vccs>("G1", out, c.ground(), in, c.ground(), 1e-3);
+  c.add<Resistor>("Rl", out, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  // Current g·v flows out→gnd through the source, so it pulls the node low.
+  EXPECT_NEAR(node_v(dc, out), -0.5, 1e-9);
+}
+
+TEST(Cccs, MirrorsBranchCurrent) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& vs = c.add<VSource>("V1", in, c.ground(), 1.0);
+  c.add<Resistor>("R1", in, c.ground(), 1e3);  // 1 mA through V1 (out of +)
+  c.add<Cccs>("F1", out, c.ground(), vs, 2.0);
+  c.add<Resistor>("Rl", out, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  // i(V1) = −1 mA (into +); F injects 2·i from out→gnd ⇒ v_out = +2 V.
+  EXPECT_NEAR(node_v(dc, out), 2.0, 1e-9);
+}
+
+TEST(Ccvs, TransresistanceOutput) {
+  Circuit c;
+  const NodeId in = c.node("in");
+  const NodeId out = c.node("out");
+  auto& vs = c.add<VSource>("V1", in, c.ground(), 1.0);
+  c.add<Resistor>("R1", in, c.ground(), 1e3);
+  c.add<Ccvs>("H1", out, c.ground(), vs, 500.0);
+  c.add<Resistor>("Rl", out, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  // v_out = r·i(V1) = 500 · (−1 mA) = −0.5 V.
+  EXPECT_NEAR(node_v(dc, out), -0.5, 1e-9);
+}
+
+TEST(Controlled, RequireBranchOwningController) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  auto& r = c.add<Resistor>("R1", a, c.ground(), 1e3);
+  EXPECT_THROW(c.add<Cccs>("F1", a, c.ground(), r, 1.0), std::logic_error);
+}
+
+}  // namespace

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "netlist/Netlist.h"
+#include "spice/Newton.h"
+#include "spice/Transient.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::spice;
+
+TEST(SpiceNumber, PlainAndSuffixed) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_spice_number("-3"), -3.0);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1k"), 1e3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5n"), 2.5e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("100meg"), 1e8);
+  EXPECT_DOUBLE_EQ(parse_spice_number("3m"), 3e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("20a"), 2e-17);
+  EXPECT_DOUBLE_EQ(parse_spice_number("100f"), 1e-13);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1.2u"), 1.2e-6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("4p"), 4e-12);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2g"), 2e9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1t"), 1e12);
+}
+
+TEST(SpiceNumber, UnitLettersAfterSuffix) {
+  EXPECT_DOUBLE_EQ(parse_spice_number("1kohm"), 1e3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.2nF"), 2.2e-9);
+  EXPECT_DOUBLE_EQ(parse_spice_number("5V"), 5.0);
+}
+
+TEST(SpiceNumber, RejectsGarbage) {
+  EXPECT_THROW(parse_spice_number("abc"), NetlistError);
+  EXPECT_THROW(parse_spice_number(""), NetlistError);
+  EXPECT_THROW(parse_spice_number("1.2.3"), NetlistError);
+}
+
+TEST(Netlist, TitleAndComments) {
+  const auto deck = parse_netlist(
+      "my title line\n"
+      "* a comment\n"
+      "R1 a 0 1k ; trailing comment\n"
+      ".end\n");
+  EXPECT_EQ(deck.title, "my title line");
+  EXPECT_EQ(deck.circuit->devices().size(), 1u);
+}
+
+TEST(Netlist, VoltageDividerOp) {
+  const auto deck = parse_netlist(
+      "divider\n"
+      "V1 vin 0 2.0\n"
+      "R1 vin mid 1k\n"
+      "R2 mid 0 1k\n"
+      ".op\n"
+      ".print v(mid)\n"
+      ".end\n");
+  ASSERT_EQ(deck.analysis.kind, ParsedAnalysis::Kind::Op);
+  ASSERT_EQ(deck.print_nodes.size(), 1u);
+  EXPECT_EQ(deck.print_nodes[0], "mid");
+  const auto dc = dc_operating_point(*deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  const NodeId mid = deck.circuit->node("mid");
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(mid - 1)], 1.0, 1e-9);
+}
+
+TEST(Netlist, PulseSourceAndTran) {
+  const auto deck = parse_netlist(
+      "rc\n"
+      "V1 in 0 PULSE(0 1 1n 0.1n 0.1n 5n)\n"
+      "R1 in out 1k\n"
+      "C1 out 0 1p\n"
+      ".tran 10p 8n\n"
+      ".end\n");
+  ASSERT_EQ(deck.analysis.kind, ParsedAnalysis::Kind::Tran);
+  EXPECT_DOUBLE_EQ(deck.analysis.tran_dt_max, 10e-12);
+  EXPECT_DOUBLE_EQ(deck.analysis.tran_t_end, 8e-9);
+  TransientOptions opts;
+  opts.t_end = deck.analysis.tran_t_end;
+  opts.dt_max = deck.analysis.tran_dt_max;
+  const auto res = run_transient(*deck.circuit, opts);
+  ASSERT_TRUE(res.finished) << res.failure;
+  const Trace out = res.node_trace(deck.circuit->node("out"));
+  EXPECT_GT(out.at(6e-9), 0.98);
+}
+
+TEST(Netlist, CommaSeparatedWaveArgs) {
+  const auto deck = parse_netlist(
+      "commas\n"
+      "V1 in 0 PWL(0,0 1n,1 2n,0.5)\n"
+      "R1 in 0 1k\n"
+      ".end\n");
+  EXPECT_EQ(deck.circuit->devices().size(), 2u);
+}
+
+TEST(Netlist, IcDirective) {
+  const auto deck = parse_netlist(
+      "ic\n"
+      "C1 a 0 1p\n"
+      "R1 a 0 1k\n"
+      ".ic v(a)=0.7\n"
+      ".end\n");
+  const auto v0 = deck.circuit->initial_state();
+  const NodeId a = deck.circuit->node("a");
+  EXPECT_DOUBLE_EQ(v0[static_cast<std::size_t>(a - 1)], 0.7);
+}
+
+TEST(Netlist, MosfetInverter) {
+  const auto deck = parse_netlist(
+      "inverter\n"
+      "V1 vdd 0 1\n"
+      "V2 in 0 0\n"
+      "M1 out in vdd PMOS w=1.4\n"
+      "M2 out in 0 NMOS\n"
+      ".op\n"
+      ".end\n");
+  const auto dc = dc_operating_point(*deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  const NodeId out = deck.circuit->node("out");
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(out - 1)], 1.0, 0.03);
+}
+
+TEST(Netlist, NemRelayElement) {
+  const auto deck = parse_netlist(
+      "relay\n"
+      "V1 g 0 1\n"
+      "V2 d 0 0.5\n"
+      "R1 s 0 10k\n"
+      "N1 d g s 0 vpi=0.53 taumech=2n\n"
+      ".tran 20p 5n\n"
+      ".end\n");
+  TransientOptions opts;
+  opts.t_end = 5e-9;
+  opts.dt_max = 20e-12;
+  const auto res = run_transient(*deck.circuit, opts);
+  ASSERT_TRUE(res.finished) << res.failure;
+  // Relay pulls in (gate above V_PI from t=0) and passes the drain level.
+  EXPECT_NEAR(res.node_trace(deck.circuit->node("s")).back(),
+              0.5 * 10.0 / 11.0, 0.02);
+}
+
+TEST(Netlist, RramAndFefetElements) {
+  const auto deck = parse_netlist(
+      "nvm\n"
+      "V1 a 0 0.2\n"
+      "Z1 a 0 state=1\n"
+      "V2 g 0 1\n"
+      "Q1 d g 0 low\n"
+      "R1 d 0 1k\n"
+      ".op\n"
+      ".end\n");
+  const auto dc = dc_operating_point(*deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  // LRS RRAM at 0.2 V draws 10 µA through V1.
+  EXPECT_EQ(deck.circuit->devices().size(), 5u);
+}
+
+TEST(Netlist, ControlledSources) {
+  const auto deck = parse_netlist(
+      "controlled\n"
+      "V1 in 0 1\n"
+      "R1 in 0 1k\n"
+      "E1 e_out 0 in 0 3\n"
+      "Rl e_out 0 1k\n"
+      "F1 f_out 0 V1 2\n"
+      "Rf f_out 0 1k\n"
+      ".op\n"
+      ".end\n");
+  const auto dc = dc_operating_point(*deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(deck.circuit->node("e_out") - 1)],
+              3.0, 1e-9);
+  // i(V1) = −1 mA; F gain 2 injects −2 mA into f_out ⇒ +2 V across 1 kΩ.
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(deck.circuit->node("f_out") - 1)],
+              2.0, 1e-9);
+}
+
+TEST(Netlist, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("title\nR1 a 0\n.end\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(parse_netlist("t\nW1 a 0 1k\n.end\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("t\n.bogus\n.end\n"), NetlistError);
+  EXPECT_THROW(parse_netlist("t\nF1 a 0 R9 2\nR9 a 0 1k\n.end\n"),
+               NetlistError);
+}
+
+TEST(Netlist, ContentAfterEndIgnored) {
+  const auto deck = parse_netlist(
+      "t\n"
+      "R1 a 0 1k\n"
+      ".end\n"
+      "R2 a 0 1k\n");
+  EXPECT_EQ(deck.circuit->devices().size(), 1u);
+}
+
+TEST(Netlist, SwitchElement) {
+  const auto deck = parse_netlist(
+      "sw\n"
+      "V1 a 0 1\n"
+      "S1 a b ron=10 on\n"
+      "R1 b 0 10\n"
+      ".op\n"
+      ".end\n");
+  const auto dc = dc_operating_point(*deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(deck.circuit->node("b") - 1)], 0.5,
+              1e-6);
+}
+
+}  // namespace

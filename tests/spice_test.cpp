@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "devices/Passive.h"
+#include "devices/Sources.h"
+#include "spice/Circuit.h"
+#include "spice/Newton.h"
+#include "spice/Transient.h"
+#include "spice/Waveform.h"
+#include "util/Units.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::spice;
+using namespace nemtcam::devices;
+using namespace nemtcam::literals;
+
+TEST(Waveform, PulseShape) {
+  // PULSE(0 1 | delay 1ns | rise 0.1ns | fall 0.1ns | width 2ns)
+  PulseWave p(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(p.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.value(0.999e-9), 0.0);
+  EXPECT_NEAR(p.value(1.05e-9), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(p.value(2.0e-9), 1.0);
+  EXPECT_NEAR(p.value(3.15e-9), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(p.value(5.0e-9), 0.0);
+}
+
+TEST(Waveform, PulseBreakpointsCoverEdges) {
+  PulseWave p(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9);
+  const auto bps = p.breakpoints(10e-9);
+  ASSERT_EQ(bps.size(), 4u);
+  EXPECT_DOUBLE_EQ(bps[0], 1e-9);
+  EXPECT_DOUBLE_EQ(bps[1], 1.1e-9);
+  EXPECT_DOUBLE_EQ(bps[2], 3.1e-9);
+  EXPECT_DOUBLE_EQ(bps[3], 3.2e-9);
+}
+
+TEST(Waveform, PeriodicPulseRepeats) {
+  PulseWave p(0.0, 1.0, 0.0, 0.1e-9, 0.1e-9, 0.4e-9, 1e-9);
+  EXPECT_DOUBLE_EQ(p.value(0.3e-9), 1.0);
+  EXPECT_DOUBLE_EQ(p.value(1.3e-9), 1.0);
+  EXPECT_DOUBLE_EQ(p.value(0.8e-9), 0.0);
+  EXPECT_DOUBLE_EQ(p.value(1.8e-9), 0.0);
+}
+
+TEST(Waveform, PwlInterpolatesAndClamps) {
+  PwlWave w({{0.0, 0.0}, {1e-9, 1.0}, {2e-9, 0.5}});
+  EXPECT_DOUBLE_EQ(w.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5e-9), 0.5);
+  EXPECT_DOUBLE_EQ(w.value(1.5e-9), 0.75);
+  EXPECT_DOUBLE_EQ(w.value(5e-9), 0.5);
+}
+
+TEST(Waveform, SinBasics) {
+  SinWave w(0.5, 0.5, 1e9);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 0.5);
+  EXPECT_NEAR(w.value(0.25e-9), 1.0, 1e-9);
+}
+
+TEST(Circuit, NodeNamingAndGround) {
+  Circuit c;
+  EXPECT_EQ(c.node("gnd"), kGround);
+  EXPECT_EQ(c.node("0"), kGround);
+  const NodeId a = c.node("a");
+  EXPECT_EQ(c.node("a"), a);
+  const NodeId b = c.node("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(c.node_count(), 3u);
+  EXPECT_EQ(c.node_name(a), "a");
+}
+
+TEST(Circuit, InitialStateUsesIcs) {
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.node("b");
+  c.set_ic(a, 0.7);
+  const auto v0 = c.initial_state();
+  EXPECT_DOUBLE_EQ(v0[static_cast<std::size_t>(a - 1)], 0.7);
+}
+
+TEST(Dc, VoltageDivider) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId mid = c.node("mid");
+  c.add<VSource>("V1", vin, c.ground(), 1.0);
+  c.add<Resistor>("R1", vin, mid, 1e3);
+  c.add<Resistor>("R2", mid, c.ground(), 3e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(mid - 1)], 0.75, 1e-9);
+  // The source branch current: 1 V across 4 kΩ = 0.25 mA flowing out of +,
+  // i.e. −0.25 mA into the + terminal.
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(c.node_unknowns())], -0.25e-3, 1e-9);
+}
+
+TEST(Transient, RcDischargeMatchesAnalytic) {
+  // 1 kΩ to ground discharging 1 pF from 1 V: v(t) = e^{-t/RC}.
+  Circuit c;
+  const NodeId n = c.node("cap");
+  c.add<Resistor>("R", n, c.ground(), 1e3);
+  c.add<Capacitor>("C", n, c.ground(), 1e-12);
+  c.set_ic(n, 1.0);
+
+  TransientOptions opts;
+  opts.t_end = 5e-9;
+  opts.dt_init = 1e-13;
+  opts.dt_max = 2e-12;
+  const auto res = run_transient(c, opts);
+  ASSERT_TRUE(res.finished) << res.failure;
+
+  const Trace v = res.node_trace(n);
+  const double rc = 1e3 * 1e-12;
+  for (double t : {0.5e-9, 1e-9, 2e-9, 4e-9}) {
+    EXPECT_NEAR(v.at(t), std::exp(-t / rc), 5e-3) << "t=" << t;
+  }
+}
+
+TEST(Transient, RcChargeDelayAndEnergy) {
+  // Step-charging C through R: delay to 50% is RC·ln2; source delivers
+  // C·V² total, half stored, half burned in R.
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId out = c.node("out");
+  const double r = 10e3, cap = 100e-15, vdd = 1.0;
+  c.add<VSource>("V1", vin, c.ground(),
+                 std::make_unique<PulseWave>(0.0, vdd, 0.1e-9, 1e-12, 1e-12, 1.0));
+  c.add<Resistor>("R", vin, out, r);
+  c.add<Capacitor>("C", out, c.ground(), cap);
+
+  TransientOptions opts;
+  opts.t_end = 20e-9;
+  opts.dt_init = 1e-13;
+  opts.dt_max = 10e-12;
+  auto res = run_transient(c, opts);
+  ASSERT_TRUE(res.finished) << res.failure;
+
+  const Trace v = res.node_trace(out);
+  const auto t50 = v.cross_time(0.5 * vdd, /*rising=*/true);
+  ASSERT_TRUE(t50.has_value());
+  EXPECT_NEAR(*t50 - 0.1e-9, r * cap * std::log(2.0), 0.03e-9);
+
+  // Fully settled by 20 RC = 20 ns.
+  EXPECT_NEAR(v.back(), vdd, 1e-3);
+  EXPECT_NEAR(res.source_energy("V1"), cap * vdd * vdd, 0.03 * cap * vdd * vdd);
+  EXPECT_NEAR(res.device_dissipation("R"), 0.5 * cap * vdd * vdd,
+              0.03 * 0.5 * cap * vdd * vdd);
+}
+
+TEST(Transient, BreakpointsAreHit) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  c.add<VSource>("V1", vin, c.ground(),
+                 std::make_unique<PulseWave>(0.0, 1.0, 1e-9, 10e-12, 10e-12, 1e-9));
+  c.add<Resistor>("R", vin, c.ground(), 1e3);
+
+  TransientOptions opts;
+  opts.t_end = 4e-9;
+  opts.dt_max = 0.5e-9;  // much larger than the pulse edges
+  auto res = run_transient(c, opts);
+  ASSERT_TRUE(res.finished) << res.failure;
+  const Trace v = res.node_trace(vin);
+  // The full 1 V plateau must be visible even though dt_max (0.5 ns) is
+  // wider than the rise; breakpoint landing guarantees it.
+  EXPECT_NEAR(v.max_value(), 1.0, 1e-9);
+  EXPECT_NEAR(v.at(1.5e-9), 1.0, 1e-9);
+}
+
+TEST(Transient, SeriesResistanceSource) {
+  Circuit c;
+  const NodeId out = c.node("out");
+  c.add<VSource>("V1", out, c.ground(), 1.0, /*series_ohms=*/1e3);
+  c.add<Resistor>("R", out, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(out - 1)], 0.5, 1e-9);
+}
+
+TEST(Trace, CrossTimeAndIntegral) {
+  Trace tr({0.0, 1.0, 2.0, 3.0}, {0.0, 1.0, 1.0, 0.0});
+  const auto up = tr.cross_time(0.5, true);
+  ASSERT_TRUE(up.has_value());
+  EXPECT_DOUBLE_EQ(*up, 0.5);
+  const auto down = tr.cross_time(0.5, false);
+  ASSERT_TRUE(down.has_value());
+  EXPECT_DOUBLE_EQ(*down, 2.5);
+  EXPECT_FALSE(tr.cross_time(2.0, true).has_value());
+  EXPECT_DOUBLE_EQ(tr.integral(), 2.0);
+  EXPECT_DOUBLE_EQ(tr.integral(1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(tr.at(0.25), 0.25);
+}
+
+TEST(Trace, CrossTimeRespectsStartTime) {
+  Trace tr({0.0, 1.0, 2.0, 3.0, 4.0}, {0.0, 1.0, 0.0, 1.0, 0.0});
+  const auto second = tr.cross_time(0.5, true, 1.5);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_DOUBLE_EQ(*second, 2.5);
+}
+
+TEST(Newton, ReportsNonConvergenceAsFailure) {
+  // A floating capacitor between two nodes with no DC path anywhere makes
+  // the DC system singular; dc_operating_point must fail gracefully
+  // (gmin keeps it solvable, so check the transient path instead with an
+  // impossible dt) — here we just confirm the divider converges and a
+  // truly disconnected node is caught by gmin.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.node("floating");
+  c.add<VSource>("V1", a, c.ground(), 1.0);
+  c.add<Resistor>("R1", a, c.ground(), 1e3);
+  const auto dc = dc_operating_point(c);
+  // gmin ties the floating node to ground.
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(c.node("floating") - 1)], 0.0, 1e-9);
+}
+
+}  // namespace

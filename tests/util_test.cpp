@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/Expect.h"
+#include "util/Random.h"
+#include "util/Stats.h"
+#include "util/Table.h"
+#include "util/Units.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::literals;
+
+TEST(Units, LiteralsMatchConstants) {
+  EXPECT_DOUBLE_EQ(2.0_ns, 2.0 * units::ns);
+  EXPECT_DOUBLE_EQ(20.0_aF, 20.0 * units::aF);
+  EXPECT_DOUBLE_EQ(1.0_kOhm, 1.0 * units::kOhm);
+  EXPECT_DOUBLE_EQ(0.35_pJ, 0.35 * units::pJ);
+  EXPECT_DOUBLE_EQ(500.0_mV, 0.5 * units::V);
+}
+
+TEST(Expect, ThrowsOnViolation) {
+  EXPECT_THROW(NEMTCAM_EXPECT(1 == 2), std::logic_error);
+  EXPECT_NO_THROW(NEMTCAM_EXPECT(1 == 1));
+  try {
+    NEMTCAM_EXPECT_MSG(false, "context message");
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("context message"), std::string::npos);
+  }
+}
+
+TEST(RunningStats, MeanAndVariance) {
+  util::RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  util::RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(util::percentile(xs, 62.5), 3.5);
+}
+
+TEST(Percentile, UnsortedInputIsHandled) {
+  EXPECT_DOUBLE_EQ(util::percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(Rng, NormalMatchesMoments) {
+  util::Rng rng(7);
+  util::RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(3.0, 0.5));
+  EXPECT_NEAR(s.mean(), 3.0, 0.02);
+  EXPECT_NEAR(s.stddev(), 0.5, 0.02);
+}
+
+TEST(Rng, LognormalMedian) {
+  util::Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 20001; ++i) xs.push_back(rng.lognormal_median(20e3, 0.3));
+  EXPECT_NEAR(util::percentile(xs, 50.0), 20e3, 600.0);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, ZeroSigmaIsDeterministic) {
+  util::Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(rng.lognormal_median(5.0, 0.0), 5.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  util::Table t({"design", "energy"});
+  t.add_row({"SRAM", "0.81 pJ"});
+  t.add_row({"3T2N", "0.35 pJ"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("design"), std::string::npos);
+  EXPECT_NE(s.find("3T2N"), std::string::npos);
+  EXPECT_NE(s.find("|---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  util::Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(SiFormat, PicksSensiblePrefix) {
+  EXPECT_EQ(util::si_format(3.5e-13, "J"), "350 fJ");
+  EXPECT_EQ(util::si_format(2e-9, "s"), "2 ns");
+  EXPECT_EQ(util::si_format(1e3, "Ohm"), "1 kOhm");
+  EXPECT_EQ(util::si_format(0.0, "V"), "0 V");
+  EXPECT_EQ(util::si_format(19.6e-9, "W"), "19.6 nW");
+}
+
+TEST(RatioFormat, FormatsWithSuffix) {
+  EXPECT_EQ(util::ratio_format(2.31), "2.31x");
+  EXPECT_EQ(util::ratio_format(131.0, 0), "131x");
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// Calibration report: runs every paper experiment at a configurable width
+// and prints measured vs target. Used while fixing the free parameters in
+// tcam/Calibration.h (DESIGN.md §7); the benches regenerate the final
+// numbers.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "tcam/Nem3T2NRow.h"
+#include "tcam/TcamRow.h"
+#include "util/Table.h"
+
+using namespace nemtcam;
+using namespace nemtcam::tcam;
+using core::Ternary;
+using core::TernaryWord;
+
+int main(int argc, char** argv) {
+  const int width = argc > 1 ? std::atoi(argv[1]) : 64;
+  const int rows = 64;
+  const Calibration& cal = Calibration::standard();
+
+  // Stored word: alternating 1010...; write = its complement (worst case,
+  // every cell flips). Search key = stored word with bit 0 flipped
+  // (worst-case single-bit mismatch).
+  TernaryWord stored(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    stored[static_cast<std::size_t>(i)] = (i % 2) ? Ternary::Zero : Ternary::One;
+  TernaryWord complement(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i)
+    complement[static_cast<std::size_t>(i)] =
+        (stored[static_cast<std::size_t>(i)] == Ternary::One) ? Ternary::Zero
+                                                              : Ternary::One;
+  TernaryWord key = stored;
+  key[0] = (key[0] == Ternary::One) ? Ternary::Zero : Ternary::One;
+
+  util::Table t({"design", "wr lat", "wr E", "srch lat", "srch E", "srch ok",
+                 "ML final", "ML min"});
+
+  for (TcamKind kind : {TcamKind::Sram16T, TcamKind::Nem3T2N,
+                        TcamKind::Rram2T2R, TcamKind::Fefet2F}) {
+    auto row = make_row(kind, width, rows, cal);
+    row->store(complement);
+    std::fprintf(stderr, "[%s] write...\n", kind_name(kind));
+    const WriteMetrics w = row->write(stored);
+    std::fprintf(stderr, "[%s] search...\n", kind_name(kind));
+    const SearchMetrics s = row->search(key);
+    t.add_row({kind_name(kind),
+               w.ok ? util::si_format(w.latency, "s") : ("FAIL: " + w.note),
+               util::si_format(w.energy, "J"),
+               s.ok && !s.matched ? util::si_format(s.latency, "s")
+                                  : ("FAIL/match: " + s.note),
+               util::si_format(s.energy, "J"),
+               s.ok ? "y" : "n",
+               util::si_format(s.ml_final, "V"),
+               util::si_format(s.ml_min, "V")});
+  }
+  t.print();
+
+  // Match-case check (ML must hold) for each design.
+  util::Table tm({"design", "match holds", "ML min (match)", "srch E (match)"});
+  for (TcamKind kind : {TcamKind::Sram16T, TcamKind::Nem3T2N,
+                        TcamKind::Rram2T2R, TcamKind::Fefet2F}) {
+    auto row = make_row(kind, width, rows, cal);
+    row->store(stored);
+    std::fprintf(stderr, "[%s] match search...\n", kind_name(kind));
+    const SearchMetrics s = row->search(stored);
+    tm.add_row({kind_name(kind), s.matched ? "y" : "NO",
+                util::si_format(s.ml_min, "V"),
+                util::si_format(s.energy, "J")});
+  }
+  tm.print();
+
+  // Refresh / retention for the 3T2N.
+  Nem3T2NRow nem(width, rows, cal);
+  nem.store(stored);
+  std::fprintf(stderr, "[3T2N] refresh...\n");
+  const RefreshMetrics r = nem.one_shot_refresh();
+  if (!r.ok) std::printf("OSR FAIL note: %s\n", r.note.c_str());
+  std::printf("OSR: ok=%d energy=%s latency=%s retention=%s power=%s\n",
+              r.ok ? 1 : 0, util::si_format(r.energy_per_op, "J").c_str(),
+              util::si_format(r.latency, "s").c_str(),
+              util::si_format(r.retention_time, "s").c_str(),
+              util::si_format(r.refresh_power, "W").c_str());
+  return 0;
+}

@@ -1,0 +1,129 @@
+// nemtcam_sim — command-line circuit simulator over the nemtcam engine.
+//
+//   nemtcam_sim deck.sp [--points N]
+//
+// Parses a SPICE-style netlist (see spice/Netlist.h for the supported
+// subset), runs the requested analysis (.op or .tran), and prints the
+// .print node voltages — as a DC table or as N transient sample rows —
+// plus the per-source delivered-energy ledger.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/Netlist.h"
+#include "spice/Newton.h"
+#include "spice/Transient.h"
+#include "util/Table.h"
+
+using namespace nemtcam;
+using namespace nemtcam::spice;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: nemtcam_sim <deck.sp> [--points N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  int points = 25;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
+      points = std::atoi(argv[++i]);
+      if (points < 2) points = 2;
+    } else if (argv[i][0] != '-') {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "nemtcam_sim: cannot open '%s'\n", path);
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  ParsedNetlist deck;
+  try {
+    deck = parse_netlist(buf.str());
+  } catch (const NetlistError& e) {
+    std::fprintf(stderr, "nemtcam_sim: %s\n", e.what());
+    return 1;
+  }
+  std::printf("* %s\n", deck.title.c_str());
+  std::printf("* %d nodes, %d unknowns, %zu devices\n",
+              static_cast<int>(deck.circuit->node_count()),
+              deck.circuit->unknown_count(), deck.circuit->devices().size());
+
+  Circuit& ckt = *deck.circuit;
+
+  if (deck.analysis.kind == ParsedAnalysis::Kind::Op ||
+      deck.analysis.kind == ParsedAnalysis::Kind::None) {
+    const auto dc = dc_operating_point(ckt);
+    if (!dc.converged) {
+      std::fprintf(stderr, "nemtcam_sim: DC operating point did not converge\n");
+      return 1;
+    }
+    util::Table t({"node", "voltage"});
+    const auto& nodes = deck.print_nodes;
+    if (nodes.empty()) {
+      for (int n = 1; n < static_cast<int>(ckt.node_count()); ++n)
+        t.add_row({ckt.node_name(n),
+                   util::si_format(dc.v[static_cast<std::size_t>(n - 1)], "V")});
+    } else {
+      for (const auto& name : nodes) {
+        const NodeId n = ckt.node(name);
+        t.add_row({name,
+                   util::si_format(dc.v[static_cast<std::size_t>(n - 1)], "V")});
+      }
+    }
+    std::printf("\nDC operating point\n");
+    t.print();
+    return 0;
+  }
+
+  // Transient.
+  TransientOptions opts;
+  opts.t_end = deck.analysis.tran_t_end;
+  opts.dt_max = deck.analysis.tran_dt_max;
+  opts.dt_init = opts.dt_max / 100.0;
+  const auto res = run_transient(ckt, opts);
+  if (!res.finished) {
+    std::fprintf(stderr, "nemtcam_sim: transient failed: %s\n",
+                 res.failure.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> headers = {"t"};
+  std::vector<Trace> traces;
+  for (const auto& name : deck.print_nodes) {
+    headers.push_back("v(" + name + ")");
+    traces.push_back(res.node_trace(ckt.node(name)));
+  }
+  util::Table t(headers);
+  for (int k = 0; k < points; ++k) {
+    const double tp = opts.t_end * k / (points - 1);
+    std::vector<std::string> row = {util::si_format(tp, "s", 3)};
+    for (const auto& tr : traces)
+      row.push_back(util::si_format(tr.at(tp), "V", 4));
+    t.add_row(row);
+  }
+  std::printf("\nTransient (%zu accepted steps)\n", res.steps_taken);
+  t.print();
+
+  util::Table e({"source", "delivered energy"});
+  for (const auto& [name, energy] : res.source_energies())
+    e.add_row({name, util::si_format(energy, "J")});
+  std::printf("\nEnergy ledger\n");
+  e.print();
+  return 0;
+}
