@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_xdensity.dir/bench_ablation_xdensity.cpp.o"
+  "CMakeFiles/bench_ablation_xdensity.dir/bench_ablation_xdensity.cpp.o.d"
+  "bench_ablation_xdensity"
+  "bench_ablation_xdensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xdensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extra_designs.dir/bench_extra_designs.cpp.o"
+  "CMakeFiles/bench_extra_designs.dir/bench_extra_designs.cpp.o.d"
+  "bench_extra_designs"
+  "bench_extra_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extra_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

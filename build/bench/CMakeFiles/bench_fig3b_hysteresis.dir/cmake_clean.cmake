@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3b_hysteresis.dir/bench_fig3b_hysteresis.cpp.o"
+  "CMakeFiles/bench_fig3b_hysteresis.dir/bench_fig3b_hysteresis.cpp.o.d"
+  "bench_fig3b_hysteresis"
+  "bench_fig3b_hysteresis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refresh_osr.dir/bench_refresh_osr.cpp.o"
+  "CMakeFiles/bench_refresh_osr.dir/bench_refresh_osr.cpp.o.d"
+  "bench_refresh_osr"
+  "bench_refresh_osr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refresh_osr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_tag_lookup.dir/cache_tag_lookup.cpp.o"
+  "CMakeFiles/cache_tag_lookup.dir/cache_tag_lookup.cpp.o.d"
+  "cache_tag_lookup"
+  "cache_tag_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_tag_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

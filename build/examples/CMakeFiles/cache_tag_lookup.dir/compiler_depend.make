@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cache_tag_lookup.
+# This may be replaced when dependencies are built.

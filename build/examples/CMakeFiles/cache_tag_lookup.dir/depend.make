@@ -1,0 +1,2 @@
+# Empty dependencies file for cache_tag_lookup.
+# This may be replaced when dependencies are built.

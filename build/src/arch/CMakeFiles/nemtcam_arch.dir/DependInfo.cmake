@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/AssocCache.cpp" "src/arch/CMakeFiles/nemtcam_arch.dir/AssocCache.cpp.o" "gcc" "src/arch/CMakeFiles/nemtcam_arch.dir/AssocCache.cpp.o.d"
+  "/root/repo/src/arch/BankedTcam.cpp" "src/arch/CMakeFiles/nemtcam_arch.dir/BankedTcam.cpp.o" "gcc" "src/arch/CMakeFiles/nemtcam_arch.dir/BankedTcam.cpp.o.d"
+  "/root/repo/src/arch/Endurance.cpp" "src/arch/CMakeFiles/nemtcam_arch.dir/Endurance.cpp.o" "gcc" "src/arch/CMakeFiles/nemtcam_arch.dir/Endurance.cpp.o.d"
+  "/root/repo/src/arch/LpmTable.cpp" "src/arch/CMakeFiles/nemtcam_arch.dir/LpmTable.cpp.o" "gcc" "src/arch/CMakeFiles/nemtcam_arch.dir/LpmTable.cpp.o.d"
+  "/root/repo/src/arch/PacketClassifier.cpp" "src/arch/CMakeFiles/nemtcam_arch.dir/PacketClassifier.cpp.o" "gcc" "src/arch/CMakeFiles/nemtcam_arch.dir/PacketClassifier.cpp.o.d"
+  "/root/repo/src/arch/RefreshController.cpp" "src/arch/CMakeFiles/nemtcam_arch.dir/RefreshController.cpp.o" "gcc" "src/arch/CMakeFiles/nemtcam_arch.dir/RefreshController.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nemtcam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemtcam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

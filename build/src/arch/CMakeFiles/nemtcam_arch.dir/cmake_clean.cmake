@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_arch.dir/AssocCache.cpp.o"
+  "CMakeFiles/nemtcam_arch.dir/AssocCache.cpp.o.d"
+  "CMakeFiles/nemtcam_arch.dir/BankedTcam.cpp.o"
+  "CMakeFiles/nemtcam_arch.dir/BankedTcam.cpp.o.d"
+  "CMakeFiles/nemtcam_arch.dir/Endurance.cpp.o"
+  "CMakeFiles/nemtcam_arch.dir/Endurance.cpp.o.d"
+  "CMakeFiles/nemtcam_arch.dir/LpmTable.cpp.o"
+  "CMakeFiles/nemtcam_arch.dir/LpmTable.cpp.o.d"
+  "CMakeFiles/nemtcam_arch.dir/PacketClassifier.cpp.o"
+  "CMakeFiles/nemtcam_arch.dir/PacketClassifier.cpp.o.d"
+  "CMakeFiles/nemtcam_arch.dir/RefreshController.cpp.o"
+  "CMakeFiles/nemtcam_arch.dir/RefreshController.cpp.o.d"
+  "libnemtcam_arch.a"
+  "libnemtcam_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/DynamicTcam.cpp" "src/core/CMakeFiles/nemtcam_core.dir/DynamicTcam.cpp.o" "gcc" "src/core/CMakeFiles/nemtcam_core.dir/DynamicTcam.cpp.o.d"
+  "/root/repo/src/core/EnergyModel.cpp" "src/core/CMakeFiles/nemtcam_core.dir/EnergyModel.cpp.o" "gcc" "src/core/CMakeFiles/nemtcam_core.dir/EnergyModel.cpp.o.d"
+  "/root/repo/src/core/PriorityEncoder.cpp" "src/core/CMakeFiles/nemtcam_core.dir/PriorityEncoder.cpp.o" "gcc" "src/core/CMakeFiles/nemtcam_core.dir/PriorityEncoder.cpp.o.d"
+  "/root/repo/src/core/TcamModel.cpp" "src/core/CMakeFiles/nemtcam_core.dir/TcamModel.cpp.o" "gcc" "src/core/CMakeFiles/nemtcam_core.dir/TcamModel.cpp.o.d"
+  "/root/repo/src/core/Ternary.cpp" "src/core/CMakeFiles/nemtcam_core.dir/Ternary.cpp.o" "gcc" "src/core/CMakeFiles/nemtcam_core.dir/Ternary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nemtcam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_core.dir/DynamicTcam.cpp.o"
+  "CMakeFiles/nemtcam_core.dir/DynamicTcam.cpp.o.d"
+  "CMakeFiles/nemtcam_core.dir/EnergyModel.cpp.o"
+  "CMakeFiles/nemtcam_core.dir/EnergyModel.cpp.o.d"
+  "CMakeFiles/nemtcam_core.dir/PriorityEncoder.cpp.o"
+  "CMakeFiles/nemtcam_core.dir/PriorityEncoder.cpp.o.d"
+  "CMakeFiles/nemtcam_core.dir/TcamModel.cpp.o"
+  "CMakeFiles/nemtcam_core.dir/TcamModel.cpp.o.d"
+  "CMakeFiles/nemtcam_core.dir/Ternary.cpp.o"
+  "CMakeFiles/nemtcam_core.dir/Ternary.cpp.o.d"
+  "libnemtcam_core.a"
+  "libnemtcam_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

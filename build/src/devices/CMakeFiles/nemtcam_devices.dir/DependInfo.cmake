@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/Controlled.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Controlled.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Controlled.cpp.o.d"
+  "/root/repo/src/devices/Diode.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Diode.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Diode.cpp.o.d"
+  "/root/repo/src/devices/Fefet.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Fefet.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Fefet.cpp.o.d"
+  "/root/repo/src/devices/Inductor.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Inductor.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Inductor.cpp.o.d"
+  "/root/repo/src/devices/Mosfet.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Mosfet.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Mosfet.cpp.o.d"
+  "/root/repo/src/devices/Mtj.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Mtj.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Mtj.cpp.o.d"
+  "/root/repo/src/devices/NemRelay.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/NemRelay.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/NemRelay.cpp.o.d"
+  "/root/repo/src/devices/Passive.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Passive.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Passive.cpp.o.d"
+  "/root/repo/src/devices/Rram.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Rram.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Rram.cpp.o.d"
+  "/root/repo/src/devices/Sources.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Sources.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Sources.cpp.o.d"
+  "/root/repo/src/devices/Switch.cpp" "src/devices/CMakeFiles/nemtcam_devices.dir/Switch.cpp.o" "gcc" "src/devices/CMakeFiles/nemtcam_devices.dir/Switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spice/CMakeFiles/nemtcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nemtcam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemtcam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_devices.dir/Controlled.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Controlled.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Diode.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Diode.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Fefet.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Fefet.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Inductor.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Inductor.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Mosfet.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Mosfet.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Mtj.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Mtj.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/NemRelay.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/NemRelay.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Passive.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Passive.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Rram.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Rram.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Sources.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Sources.cpp.o.d"
+  "CMakeFiles/nemtcam_devices.dir/Switch.cpp.o"
+  "CMakeFiles/nemtcam_devices.dir/Switch.cpp.o.d"
+  "libnemtcam_devices.a"
+  "libnemtcam_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/DenseLu.cpp" "src/linalg/CMakeFiles/nemtcam_linalg.dir/DenseLu.cpp.o" "gcc" "src/linalg/CMakeFiles/nemtcam_linalg.dir/DenseLu.cpp.o.d"
+  "/root/repo/src/linalg/DenseMatrix.cpp" "src/linalg/CMakeFiles/nemtcam_linalg.dir/DenseMatrix.cpp.o" "gcc" "src/linalg/CMakeFiles/nemtcam_linalg.dir/DenseMatrix.cpp.o.d"
+  "/root/repo/src/linalg/SparseLu.cpp" "src/linalg/CMakeFiles/nemtcam_linalg.dir/SparseLu.cpp.o" "gcc" "src/linalg/CMakeFiles/nemtcam_linalg.dir/SparseLu.cpp.o.d"
+  "/root/repo/src/linalg/SparseMatrix.cpp" "src/linalg/CMakeFiles/nemtcam_linalg.dir/SparseMatrix.cpp.o" "gcc" "src/linalg/CMakeFiles/nemtcam_linalg.dir/SparseMatrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nemtcam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_linalg.dir/DenseLu.cpp.o"
+  "CMakeFiles/nemtcam_linalg.dir/DenseLu.cpp.o.d"
+  "CMakeFiles/nemtcam_linalg.dir/DenseMatrix.cpp.o"
+  "CMakeFiles/nemtcam_linalg.dir/DenseMatrix.cpp.o.d"
+  "CMakeFiles/nemtcam_linalg.dir/SparseLu.cpp.o"
+  "CMakeFiles/nemtcam_linalg.dir/SparseLu.cpp.o.d"
+  "CMakeFiles/nemtcam_linalg.dir/SparseMatrix.cpp.o"
+  "CMakeFiles/nemtcam_linalg.dir/SparseMatrix.cpp.o.d"
+  "libnemtcam_linalg.a"
+  "libnemtcam_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

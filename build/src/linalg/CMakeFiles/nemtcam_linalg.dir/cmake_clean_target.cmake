@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnemtcam_linalg.a"
+)

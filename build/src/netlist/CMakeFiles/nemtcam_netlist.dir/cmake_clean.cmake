@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_netlist.dir/Netlist.cpp.o"
+  "CMakeFiles/nemtcam_netlist.dir/Netlist.cpp.o.d"
+  "libnemtcam_netlist.a"
+  "libnemtcam_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

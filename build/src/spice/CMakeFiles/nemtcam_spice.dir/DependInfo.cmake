@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spice/Circuit.cpp" "src/spice/CMakeFiles/nemtcam_spice.dir/Circuit.cpp.o" "gcc" "src/spice/CMakeFiles/nemtcam_spice.dir/Circuit.cpp.o.d"
+  "/root/repo/src/spice/Newton.cpp" "src/spice/CMakeFiles/nemtcam_spice.dir/Newton.cpp.o" "gcc" "src/spice/CMakeFiles/nemtcam_spice.dir/Newton.cpp.o.d"
+  "/root/repo/src/spice/Trace.cpp" "src/spice/CMakeFiles/nemtcam_spice.dir/Trace.cpp.o" "gcc" "src/spice/CMakeFiles/nemtcam_spice.dir/Trace.cpp.o.d"
+  "/root/repo/src/spice/Transient.cpp" "src/spice/CMakeFiles/nemtcam_spice.dir/Transient.cpp.o" "gcc" "src/spice/CMakeFiles/nemtcam_spice.dir/Transient.cpp.o.d"
+  "/root/repo/src/spice/Waveform.cpp" "src/spice/CMakeFiles/nemtcam_spice.dir/Waveform.cpp.o" "gcc" "src/spice/CMakeFiles/nemtcam_spice.dir/Waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/nemtcam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemtcam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_spice.dir/Circuit.cpp.o"
+  "CMakeFiles/nemtcam_spice.dir/Circuit.cpp.o.d"
+  "CMakeFiles/nemtcam_spice.dir/Newton.cpp.o"
+  "CMakeFiles/nemtcam_spice.dir/Newton.cpp.o.d"
+  "CMakeFiles/nemtcam_spice.dir/Trace.cpp.o"
+  "CMakeFiles/nemtcam_spice.dir/Trace.cpp.o.d"
+  "CMakeFiles/nemtcam_spice.dir/Transient.cpp.o"
+  "CMakeFiles/nemtcam_spice.dir/Transient.cpp.o.d"
+  "CMakeFiles/nemtcam_spice.dir/Waveform.cpp.o"
+  "CMakeFiles/nemtcam_spice.dir/Waveform.cpp.o.d"
+  "libnemtcam_spice.a"
+  "libnemtcam_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcam/Dtcam5TRow.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Dtcam5TRow.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Dtcam5TRow.cpp.o.d"
+  "/root/repo/src/tcam/Fefet2FRow.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Fefet2FRow.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Fefet2FRow.cpp.o.d"
+  "/root/repo/src/tcam/Fefet4T2FRow.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Fefet4T2FRow.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Fefet4T2FRow.cpp.o.d"
+  "/root/repo/src/tcam/Harness.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Harness.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Harness.cpp.o.d"
+  "/root/repo/src/tcam/Mram4T2MRow.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Mram4T2MRow.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Mram4T2MRow.cpp.o.d"
+  "/root/repo/src/tcam/Nem3T2NRow.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Nem3T2NRow.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Nem3T2NRow.cpp.o.d"
+  "/root/repo/src/tcam/Rram2T2RRow.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Rram2T2RRow.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Rram2T2RRow.cpp.o.d"
+  "/root/repo/src/tcam/Sram16TRow.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Sram16TRow.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/Sram16TRow.cpp.o.d"
+  "/root/repo/src/tcam/TcamRow.cpp" "src/tcam/CMakeFiles/nemtcam_tcam.dir/TcamRow.cpp.o" "gcc" "src/tcam/CMakeFiles/nemtcam_tcam.dir/TcamRow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nemtcam_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/nemtcam_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nemtcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nemtcam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemtcam_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

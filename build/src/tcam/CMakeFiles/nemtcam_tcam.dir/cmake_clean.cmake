@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_tcam.dir/Dtcam5TRow.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/Dtcam5TRow.cpp.o.d"
+  "CMakeFiles/nemtcam_tcam.dir/Fefet2FRow.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/Fefet2FRow.cpp.o.d"
+  "CMakeFiles/nemtcam_tcam.dir/Fefet4T2FRow.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/Fefet4T2FRow.cpp.o.d"
+  "CMakeFiles/nemtcam_tcam.dir/Harness.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/Harness.cpp.o.d"
+  "CMakeFiles/nemtcam_tcam.dir/Mram4T2MRow.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/Mram4T2MRow.cpp.o.d"
+  "CMakeFiles/nemtcam_tcam.dir/Nem3T2NRow.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/Nem3T2NRow.cpp.o.d"
+  "CMakeFiles/nemtcam_tcam.dir/Rram2T2RRow.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/Rram2T2RRow.cpp.o.d"
+  "CMakeFiles/nemtcam_tcam.dir/Sram16TRow.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/Sram16TRow.cpp.o.d"
+  "CMakeFiles/nemtcam_tcam.dir/TcamRow.cpp.o"
+  "CMakeFiles/nemtcam_tcam.dir/TcamRow.cpp.o.d"
+  "libnemtcam_tcam.a"
+  "libnemtcam_tcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_tcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for nemtcam_tcam.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_util.dir/Log.cpp.o"
+  "CMakeFiles/nemtcam_util.dir/Log.cpp.o.d"
+  "CMakeFiles/nemtcam_util.dir/Stats.cpp.o"
+  "CMakeFiles/nemtcam_util.dir/Stats.cpp.o.d"
+  "CMakeFiles/nemtcam_util.dir/Table.cpp.o"
+  "CMakeFiles/nemtcam_util.dir/Table.cpp.o.d"
+  "libnemtcam_util.a"
+  "libnemtcam_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arch2_test.cpp" "tests/CMakeFiles/test_arch2.dir/arch2_test.cpp.o" "gcc" "tests/CMakeFiles/test_arch2.dir/arch2_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/devices/CMakeFiles/nemtcam_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/spice/CMakeFiles/nemtcam_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/nemtcam_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nemtcam_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/nemtcam_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nemtcam_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

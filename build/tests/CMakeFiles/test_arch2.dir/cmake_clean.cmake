@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch2.dir/arch2_test.cpp.o"
+  "CMakeFiles/test_arch2.dir/arch2_test.cpp.o.d"
+  "test_arch2"
+  "test_arch2.pdb"
+  "test_arch2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_devices2.dir/devices2_test.cpp.o"
+  "CMakeFiles/test_devices2.dir/devices2_test.cpp.o.d"
+  "test_devices2"
+  "test_devices2.pdb"
+  "test_devices2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_devices2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mram.dir/mram_test.cpp.o"
+  "CMakeFiles/test_mram.dir/mram_test.cpp.o.d"
+  "test_mram"
+  "test_mram.pdb"
+  "test_mram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

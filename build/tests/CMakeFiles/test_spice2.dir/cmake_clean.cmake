@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spice2.dir/spice2_test.cpp.o"
+  "CMakeFiles/test_spice2.dir/spice2_test.cpp.o.d"
+  "test_spice2"
+  "test_spice2.pdb"
+  "test_spice2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spice2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

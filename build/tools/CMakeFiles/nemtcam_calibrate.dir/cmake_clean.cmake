@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_calibrate.dir/calibrate_main.cpp.o"
+  "CMakeFiles/nemtcam_calibrate.dir/calibrate_main.cpp.o.d"
+  "nemtcam_calibrate"
+  "nemtcam_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nemtcam_sim.dir/nemtcam_sim.cpp.o"
+  "CMakeFiles/nemtcam_sim.dir/nemtcam_sim.cpp.o.d"
+  "nemtcam_sim"
+  "nemtcam_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nemtcam_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
