@@ -52,4 +52,19 @@ inline core::TernaryWord one_bit_mismatch_key(const core::TernaryWord& w) {
   return key;
 }
 
+// google-benchmark can invoke a benchmark function more than once even at
+// Iterations(1) (warm-up/estimation runs); benches that accumulate sweep
+// points into a global vector must replace the row for an already-seen
+// sweep key instead of appending a duplicate.
+template <typename P, typename K>
+void upsert_point(std::vector<P>& points, const P& pt, K P::*key) {
+  for (auto& p : points) {
+    if (p.*key == pt.*key) {
+      p = pt;
+      return;
+    }
+  }
+  points.push_back(pt);
+}
+
 }  // namespace nemtcam::bench

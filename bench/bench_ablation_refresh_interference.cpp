@@ -32,7 +32,7 @@ void BM_RefreshInterference(benchmark::State& state) {
     cfg.policy = RefreshPolicy::RowByRow;
     pt.row = simulate_refresh_interference(cfg);
   }
-  g_points.push_back(pt);
+  upsert_point(g_points, pt, &LoadPoint::rate_hz);
   state.counters["osr_avg_wait_ps"] = pt.osr.avg_search_wait() * 1e12;
   state.counters["row_avg_wait_ps"] = pt.row.avg_search_wait() * 1e12;
 }

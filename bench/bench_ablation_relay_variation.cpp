@@ -7,6 +7,7 @@
 // margin actually buys.
 #include "BenchCommon.h"
 #include "tcam/Nem3T2NRow.h"
+#include "util/Sweep.h"
 
 namespace {
 
@@ -29,17 +30,21 @@ void BM_RelayVariation(benchmark::State& state) {
   SigmaPoint pt{sigma * 1e3, 0};
   for (auto _ : state) {
     pt.failures = 0;
-    for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
-      Nem3T2NRow row(kW, kRows, Calibration::standard());
-      row.set_threshold_sigma(sigma);
-      row.set_variation_seed(seed);
-      row.store(checker_word(kW));
-      const RefreshMetrics r =
-          row.refresh_at(Calibration::standard().v_refresh, 0.25);
-      if (!r.ok) ++pt.failures;
-    }
+    // Independent arrays per seed → parallel sweep; seeds depend only on
+    // the trial index, so failure counts match the serial run exactly.
+    const auto fails = nemtcam::util::run_sweep<int>(
+        kTrials, [sigma](std::size_t trial, std::uint64_t) {
+          Nem3T2NRow row(kW, kRows, Calibration::standard());
+          row.set_threshold_sigma(sigma);
+          row.set_variation_seed(static_cast<std::uint64_t>(trial) + 1);
+          row.store(checker_word(kW));
+          const RefreshMetrics r =
+              row.refresh_at(Calibration::standard().v_refresh, 0.25);
+          return r.ok ? 0 : 1;
+        });
+    for (int f : fails) pt.failures += f;
   }
-  g_points.push_back(pt);
+  upsert_point(g_points, pt, &SigmaPoint::sigma_mv);
   state.counters["sigma_mV"] = pt.sigma_mv;
   state.counters["array_failures"] = pt.failures;
 }

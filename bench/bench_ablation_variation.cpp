@@ -4,9 +4,12 @@
 // together and searches misclassify — while the 3T2N's near-infinite
 // OFF-resistance keeps its margin intact. This is the paper's argument for
 // why the NEM TCAM wins on EDP once variations are considered.
+#include <algorithm>
+
 #include "BenchCommon.h"
 #include "tcam/Nem3T2NRow.h"
 #include "tcam/Rram2T2RRow.h"
+#include "util/Sweep.h"
 
 namespace {
 
@@ -26,24 +29,46 @@ struct SigmaPoint {
 std::vector<SigmaPoint> g_rram;
 double g_nem_margin = 0.0;
 
+// One Monte-Carlo trial: independent row, deterministic per-trial seed.
+struct TrialOutcome {
+  int errors = 0;
+  double margin = 1.0;  // matched-ML min above the sense level
+};
+
+TrialOutcome run_trial(double sigma, std::size_t trial) {
+  Rram2T2RRow row(kW, kRows, Calibration::standard());
+  row.set_resistance_sigma(sigma);
+  row.set_variation_seed(static_cast<std::uint64_t>(trial) + 1);
+  const auto word = checker_word(kW);
+  row.store(word);
+  const SearchMetrics mm = row.search(one_bit_mismatch_key(word));
+  const SearchMetrics mt = row.search(word);
+  TrialOutcome out;
+  out.margin = mt.ml_min - Calibration::standard().ml_sense_level;
+  if (!mm.ok || !mt.ok || mm.matched || !mt.matched) out.errors = 1;
+  return out;
+}
+
 void BM_RramVariation(benchmark::State& state) {
   const double sigma = static_cast<double>(state.range(0)) / 100.0;
   SigmaPoint pt{sigma, 0, 1.0};
   for (auto _ : state) {
     pt.errors = 0;
     pt.min_margin = 1.0;
-    for (int trial = 0; trial < kTrials; ++trial) {
-      Rram2T2RRow row(kW, kRows, Calibration::standard());
-      row.set_resistance_sigma(sigma);
-      row.set_variation_seed(static_cast<std::uint64_t>(trial) + 1);
-      const auto word = checker_word(kW);
-      row.store(word);
-      const SearchMetrics mm = row.search(one_bit_mismatch_key(word));
-      const SearchMetrics mt = row.search(word);
-      if (!mm.ok || !mt.ok || mm.matched || !mt.matched) ++pt.errors;
+    // Trials are independent (one circuit each), so fan them across the
+    // sweep pool. Results come back ordered by trial index and each trial
+    // derives its variation seed from its index alone, so the aggregate is
+    // bit-identical at any thread count (NEMTCAM_THREADS=1 to check).
+    const auto outcomes = nemtcam::util::run_sweep<TrialOutcome>(
+        kTrials, [sigma](std::size_t trial, std::uint64_t) {
+          return run_trial(sigma, trial);
+        });
+    for (const auto& o : outcomes) {
+      pt.errors += o.errors;
+      pt.min_margin = std::min(pt.min_margin, o.margin);
     }
   }
-  g_rram.push_back(pt);
+  upsert_point(g_rram, pt, &SigmaPoint::sigma);
   state.counters["sigma"] = sigma;
   state.counters["errors"] = pt.errors;
   state.counters["trials"] = 2 * kTrials;

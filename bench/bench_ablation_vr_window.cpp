@@ -33,7 +33,7 @@ void BM_VrSweep(benchmark::State& state) {
     pt.energy = r.energy_per_op;
     pt.retention = r.ok ? row.simulate_retention(v_r) : 0.0;
   }
-  g_points.push_back(pt);
+  upsert_point(g_points, pt, &VrPoint::v_r);
   state.counters["v_r_mV"] = v_r * 1e3;
   state.counters["ok"] = pt.ok ? 1 : 0;
   state.counters["retention_us"] = pt.retention * 1e6;

@@ -56,7 +56,7 @@ void BM_XDensity(benchmark::State& state) {
     miss[0] = Ternary::Zero;
     pt.mismatch = row.search(miss);
   }
-  g_points.push_back(pt);
+  upsert_point(g_points, pt, &XPoint::x_percent);
   state.counters["x_percent"] = x_percent;
   state.counters["mismatch_latency_ps"] = pt.mismatch.latency * 1e12;
 }

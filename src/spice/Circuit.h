@@ -2,12 +2,14 @@
 // conditions.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "spice/AssemblyCache.h"
 #include "spice/Device.h"
 #include "spice/Types.h"
 
@@ -36,6 +38,7 @@ class Circuit {
       n_branches_ += dev->branch_count();
     }
     devices_.push_back(std::move(dev));
+    ++topology_rev_;
     return ref;
   }
 
@@ -63,6 +66,25 @@ class Circuit {
   // Builds the initial unknown vector from ICs (branch currents start at 0).
   std::vector<double> initial_state() const;
 
+  // Bumped whenever a device is added; lets the solver cache detect that
+  // its recorded stamp pattern belongs to an older topology.
+  std::uint64_t topology_revision() const noexcept { return topology_rev_; }
+
+  // Solver-owned assembly/factorization scratch (see AssemblyCache). Kept
+  // on the circuit so the fixed stamp pattern and symbolic LU survive
+  // across Newton solves and transient steps. Invalidated automatically
+  // when the topology changed since the last call. One cache per circuit
+  // means a circuit must not be solved from two threads at once — sweep
+  // parallelism runs one circuit per trial, never one circuit on many
+  // threads.
+  AssemblyCache& solver_cache() {
+    if (cache_rev_ != topology_rev_) {
+      solver_cache_.invalidate();
+      cache_rev_ = topology_rev_;
+    }
+    return solver_cache_;
+  }
+
  private:
   std::unordered_map<std::string, NodeId> name_to_id_;
   std::vector<std::string> names_;  // names_[i] is node id i+1
@@ -70,6 +92,9 @@ class Circuit {
   int n_branches_ = 0;
   int anon_counter_ = 0;
   std::map<NodeId, double> ics_;
+  std::uint64_t topology_rev_ = 0;
+  std::uint64_t cache_rev_ = 0;
+  AssemblyCache solver_cache_;
 };
 
 }  // namespace nemtcam::spice

@@ -1,15 +1,55 @@
 #include "spice/Newton.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #include "linalg/DenseLu.h"  // SingularMatrixError
 #include "linalg/SparseLu.h"
 #include "linalg/SparseMatrix.h"
+#include "spice/AssemblyCache.h"
 #include "spice/Stamper.h"
 #include "util/Log.h"
 
 namespace nemtcam::spice {
+
+namespace {
+
+std::atomic<bool> g_use_assembly_cache{
+    std::getenv("NEMTCAM_NO_ASSEMBLY_CACHE") == nullptr};
+
+// Applies the damped update and checks node-voltage convergence. Returns
+// true when converged.
+bool apply_update(const std::vector<double>& v_new, std::vector<double>& v,
+                  int n_node, const NewtonOptions& opts, NewtonResult& result) {
+  const std::size_t n = v.size();
+  double max_delta = 0.0;
+  bool clamped = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    double dv = v_new[i] - v[i];
+    if (opts.damp_limit > 0.0 && i < static_cast<std::size_t>(n_node)) {
+      if (dv > opts.damp_limit) { dv = opts.damp_limit; clamped = true; }
+      if (dv < -opts.damp_limit) { dv = -opts.damp_limit; clamped = true; }
+    }
+    if (i < static_cast<std::size_t>(n_node))
+      max_delta = std::max(max_delta, std::fabs(dv));
+    v[i] += dv;
+  }
+  result.max_delta = max_delta;
+  if (clamped) return false;
+  // Converged when the node-voltage update is negligible.
+  double tol_scale = 0.0;
+  for (int i = 0; i < n_node; ++i)
+    tol_scale = std::max(tol_scale, std::fabs(v[static_cast<std::size_t>(i)]));
+  return max_delta <= opts.abstol + opts.reltol * tol_scale;
+}
+
+}  // namespace
+
+bool default_use_assembly_cache() { return g_use_assembly_cache.load(); }
+
+void set_default_use_assembly_cache(bool on) { g_use_assembly_cache.store(on); }
 
 NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
                           std::vector<double>& v,
@@ -19,10 +59,55 @@ NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
   NEMTCAM_EXPECT(v.size() == n && v_prev.size() == n);
   const int n_node = circuit.node_unknowns();
 
+  NewtonResult result;
+
+  if (opts.use_assembly_cache) {
+    // Fast path: fixed-pattern stamping + symbolic-LU reuse.
+    AssemblyCache& cache = circuit.solver_cache();
+    std::vector<double> rhs(n);
+    for (int iter = 0; iter < opts.max_iterations; ++iter) {
+      result.iterations = iter + 1;
+      // A pass that deviates from the recorded stamp pattern (topology-
+      // visible mode change, e.g. DC vs transient) is redone once in
+      // build mode; the second pass always succeeds.
+      for (int pass = 0; pass < 2; ++pass) {
+        cache.begin(n);
+        std::fill(rhs.begin(), rhs.end(), 0.0);
+        Stamper stamper(cache, rhs, n_node);
+        StampContext ctx(t, dt, is_dc, n_node, &v, &v_prev, integrator);
+        for (const auto& dev : circuit.devices()) dev->stamp(stamper, ctx);
+        if (opts.gmin > 0.0)
+          for (int i = 1; i <= n_node; ++i)
+            stamper.conductance(static_cast<NodeId>(i), kGround, opts.gmin);
+        if (cache.finish()) break;
+        NEMTCAM_ENSURE_MSG(pass == 0, "assembly pattern unstable");
+      }
+
+      try {
+        linalg::SparseLu& lu = cache.factorize();
+        if (iter == 0)
+          log::debug("newton: n=", n, " nnz=", cache.view().nnz(),
+                     " fill=", lu.fill_nnz());
+        lu.solve_inplace(rhs);  // rhs becomes v_new
+      } catch (const linalg::SingularMatrixError&) {
+        log::debug("Newton: singular system at t=", t, " iter=", iter);
+        result.converged = false;
+        return result;
+      }
+
+      if (apply_update(rhs, v, n_node, opts, result)) {
+        result.converged = true;
+        return result;
+      }
+    }
+    return result;
+  }
+
+  // Legacy path: rebuild the SparseMatrix and run a full factorization
+  // every iteration. Kept for A/B benchmarking (bench_solver) and as the
+  // NEMTCAM_NO_ASSEMBLY_CACHE escape hatch.
   linalg::SparseMatrix a(n, n);
   std::vector<double> rhs(n);
-
-  NewtonResult result;
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
     result.iterations = iter + 1;
     a.clear();
@@ -46,30 +131,9 @@ NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
       return result;
     }
 
-    // Damped update and convergence check over node voltages. Branch
-    // currents are taken as solved (they are linear given the voltages).
-    double max_delta = 0.0;
-    bool clamped = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      double dv = v_new[i] - v[i];
-      if (opts.damp_limit > 0.0 && i < static_cast<std::size_t>(n_node)) {
-        if (dv > opts.damp_limit) { dv = opts.damp_limit; clamped = true; }
-        if (dv < -opts.damp_limit) { dv = -opts.damp_limit; clamped = true; }
-      }
-      if (i < static_cast<std::size_t>(n_node))
-        max_delta = std::max(max_delta, std::fabs(dv));
-      v[i] += dv;
-    }
-    result.max_delta = max_delta;
-    if (!clamped) {
-      // Converged when the node-voltage update is negligible.
-      double tol_scale = 0.0;
-      for (int i = 0; i < n_node; ++i)
-        tol_scale = std::max(tol_scale, std::fabs(v[static_cast<std::size_t>(i)]));
-      if (max_delta <= opts.abstol + opts.reltol * tol_scale) {
-        result.converged = true;
-        return result;
-      }
+    if (apply_update(v_new, v, n_node, opts, result)) {
+      result.converged = true;
+      return result;
     }
   }
   return result;

@@ -8,6 +8,12 @@
 
 namespace nemtcam::spice {
 
+// Process-wide default for NewtonOptions::use_assembly_cache. Starts true
+// (set NEMTCAM_NO_ASSEMBLY_CACHE in the environment to start false); the
+// setter exists for A/B perf comparisons like bench_solver.
+bool default_use_assembly_cache();
+void set_default_use_assembly_cache(bool on);
+
 struct NewtonOptions {
   int max_iterations = 60;
   // Convergence: max |Δv| over node unknowns below abstol + reltol·|v|.
@@ -18,6 +24,10 @@ struct NewtonOptions {
   double damp_limit = 0.5;
   // Conductance to ground added on every node unknown (DC convergence aid).
   double gmin = 0.0;
+  // Assemble into the circuit's fixed-pattern AssemblyCache and reuse the
+  // symbolic LU across iterations/steps (the fast path). When false, the
+  // MNA matrix is rebuilt and fully refactorized every iteration.
+  bool use_assembly_cache = default_use_assembly_cache();
 };
 
 struct NewtonResult {

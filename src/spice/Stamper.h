@@ -16,6 +16,7 @@
 #pragma once
 
 #include "linalg/SparseMatrix.h"
+#include "spice/AssemblyCache.h"
 #include "spice/Types.h"
 #include "util/Expect.h"
 
@@ -25,17 +26,22 @@ namespace nemtcam::spice {
 
 class Stamper {
  public:
+  // Legacy backend: triplet accumulation into a SparseMatrix.
   Stamper(linalg::SparseMatrix& a, std::vector<double>& rhs, int n_node_unknowns)
-      : a_(a), rhs_(rhs), n_node_unknowns_(n_node_unknowns) {}
+      : a_(&a), rhs_(rhs), n_node_unknowns_(n_node_unknowns) {}
+
+  // Fast-path backend: fixed-pattern assembly (see AssemblyCache).
+  Stamper(AssemblyCache& cache, std::vector<double>& rhs, int n_node_unknowns)
+      : cache_(&cache), rhs_(rhs), n_node_unknowns_(n_node_unknowns) {}
 
   void conductance(NodeId a, NodeId b, double g) {
     const int ia = idx(a);
     const int ib = idx(b);
-    if (ia >= 0) a_.add(u(ia), u(ia), g);
-    if (ib >= 0) a_.add(u(ib), u(ib), g);
+    if (ia >= 0) madd(u(ia), u(ia), g);
+    if (ib >= 0) madd(u(ib), u(ib), g);
     if (ia >= 0 && ib >= 0) {
-      a_.add(u(ia), u(ib), -g);
-      a_.add(u(ib), u(ia), -g);
+      madd(u(ia), u(ib), -g);
+      madd(u(ib), u(ia), -g);
     }
   }
 
@@ -51,10 +57,10 @@ class Stamper {
     const int ib = idx(b);
     const int ic = idx(c);
     const int id = idx(d);
-    if (ia >= 0 && ic >= 0) a_.add(u(ia), u(ic), gm);
-    if (ia >= 0 && id >= 0) a_.add(u(ia), u(id), -gm);
-    if (ib >= 0 && ic >= 0) a_.add(u(ib), u(ic), -gm);
-    if (ib >= 0 && id >= 0) a_.add(u(ib), u(id), gm);
+    if (ia >= 0 && ic >= 0) madd(u(ia), u(ic), gm);
+    if (ia >= 0 && id >= 0) madd(u(ia), u(id), -gm);
+    if (ib >= 0 && ic >= 0) madd(u(ib), u(ic), -gm);
+    if (ib >= 0 && id >= 0) madd(u(ib), u(id), gm);
   }
 
   // Convenience for a two-terminal nonlinear element: current i(v_ab)
@@ -71,12 +77,12 @@ class Stamper {
     const int im = idx(minus);
     const std::size_t rb = static_cast<std::size_t>(n_node_unknowns_ + br);
     if (ip >= 0) {
-      a_.add(u(ip), rb, 1.0);
-      a_.add(rb, u(ip), 1.0);
+      madd(u(ip), rb, 1.0);
+      madd(rb, u(ip), 1.0);
     }
     if (im >= 0) {
-      a_.add(u(im), rb, -1.0);
-      a_.add(rb, u(im), -1.0);
+      madd(u(im), rb, -1.0);
+      madd(rb, u(im), -1.0);
     }
     rhs_[rb] += volts;
   }
@@ -86,7 +92,7 @@ class Stamper {
   void branch_series_resistance(BranchId br, double r) {
     NEMTCAM_EXPECT(br >= 0);
     const std::size_t rb = static_cast<std::size_t>(n_node_unknowns_ + br);
-    a_.add(rb, rb, -r);
+    madd(rb, rb, -r);
   }
 
   // Current gain·i(src_branch) flowing a→b (CCCS coupling).
@@ -96,8 +102,8 @@ class Stamper {
     const std::size_t cb = static_cast<std::size_t>(n_node_unknowns_ + src_branch);
     const int ia = idx(a);
     const int ib = idx(b);
-    if (ia >= 0) a_.add(u(ia), cb, gain);
-    if (ib >= 0) a_.add(u(ib), cb, -gain);
+    if (ia >= 0) madd(u(ia), cb, gain);
+    if (ib >= 0) madd(u(ib), cb, -gain);
   }
 
   // Adds coeff·v(n) into a branch row (VCVS control term).
@@ -106,7 +112,7 @@ class Stamper {
     const int in = idx(n);
     if (in < 0) return;
     const std::size_t rb = static_cast<std::size_t>(n_node_unknowns_ + row_branch);
-    a_.add(rb, u(in), coeff);
+    madd(rb, u(in), coeff);
   }
 
   // Adds coeff·i(ctrl_branch) into a branch row (CCVS control term).
@@ -115,7 +121,7 @@ class Stamper {
     NEMTCAM_EXPECT(row_branch >= 0 && ctrl_branch >= 0);
     const std::size_t rb = static_cast<std::size_t>(n_node_unknowns_ + row_branch);
     const std::size_t cb = static_cast<std::size_t>(n_node_unknowns_ + ctrl_branch);
-    a_.add(rb, cb, coeff);
+    madd(rb, cb, coeff);
   }
 
   int node_unknowns() const noexcept { return n_node_unknowns_; }
@@ -124,7 +130,16 @@ class Stamper {
   static int idx(NodeId n) { return n - 1; }  // -1 for ground
   static std::size_t u(int i) { return static_cast<std::size_t>(i); }
 
-  linalg::SparseMatrix& a_;
+  void madd(std::size_t r, std::size_t c, double v) {
+    if (cache_ != nullptr) {
+      cache_->add(r, c, v);
+    } else {
+      a_->add(r, c, v);
+    }
+  }
+
+  linalg::SparseMatrix* a_ = nullptr;
+  AssemblyCache* cache_ = nullptr;
   std::vector<double>& rhs_;
   int n_node_unknowns_;
 };

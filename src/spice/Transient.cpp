@@ -9,21 +9,39 @@
 
 namespace nemtcam::spice {
 
+namespace {
+
+// Maps a raw unknown index to its sample column: identity when the full
+// vector was recorded, else a lookup in recorded_unknowns.
+std::size_t sample_column(const std::vector<std::size_t>& recorded,
+                          std::size_t unknown) {
+  if (recorded.empty()) return unknown;
+  const auto it = std::find(recorded.begin(), recorded.end(), unknown);
+  NEMTCAM_EXPECT_MSG(it != recorded.end(),
+                     "unknown was not probed during this transient run");
+  return static_cast<std::size_t>(it - recorded.begin());
+}
+
+}  // namespace
+
 Trace TransientResult::node_trace(NodeId n) const {
   NEMTCAM_EXPECT(n != kGround);
   NEMTCAM_EXPECT(n - 1 < n_node_unknowns);
+  const std::size_t col =
+      sample_column(recorded_unknowns, static_cast<std::size_t>(n - 1));
   std::vector<double> vals;
   vals.reserve(samples.size());
-  for (const auto& s : samples) vals.push_back(s[static_cast<std::size_t>(n - 1)]);
+  for (const auto& s : samples) vals.push_back(s[col]);
   return Trace(times, std::move(vals));
 }
 
 Trace TransientResult::branch_trace(BranchId b) const {
   NEMTCAM_EXPECT(b >= 0);
+  const std::size_t col = sample_column(
+      recorded_unknowns, static_cast<std::size_t>(n_node_unknowns + b));
   std::vector<double> vals;
   vals.reserve(samples.size());
-  for (const auto& s : samples)
-    vals.push_back(s[static_cast<std::size_t>(n_node_unknowns + b)]);
+  for (const auto& s : samples) vals.push_back(s[col]);
   return Trace(times, std::move(vals));
 }
 
@@ -93,10 +111,32 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
     }
   }
 
-  if (opts.record) {
-    result.times.push_back(0.0);
-    result.samples.push_back(v_prev);
+  // Probe recording: store only the requested unknowns per step.
+  if (!opts.probe_nodes.empty() || !opts.probe_branches.empty()) {
+    for (NodeId n : opts.probe_nodes) {
+      NEMTCAM_EXPECT(n != kGround && n - 1 < circuit.node_unknowns());
+      result.recorded_unknowns.push_back(static_cast<std::size_t>(n - 1));
+    }
+    for (BranchId b : opts.probe_branches) {
+      NEMTCAM_EXPECT(b >= 0 && b < circuit.branch_unknowns());
+      result.recorded_unknowns.push_back(
+          static_cast<std::size_t>(circuit.node_unknowns() + b));
+    }
   }
+  const auto record_sample = [&result](double time,
+                                       const std::vector<double>& full) {
+    result.times.push_back(time);
+    if (result.recorded_unknowns.empty()) {
+      result.samples.push_back(full);
+      return;
+    }
+    std::vector<double> row;
+    row.reserve(result.recorded_unknowns.size());
+    for (std::size_t u : result.recorded_unknowns) row.push_back(full[u]);
+    result.samples.push_back(std::move(row));
+  };
+
+  if (opts.record) record_sample(0.0, v_prev);
 
   std::size_t next_bp = 0;
   const double t_eps = 1e-18;
@@ -166,10 +206,7 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
       prev_dissipated[i] = pp;
     }
 
-    if (opts.record) {
-      result.times.push_back(t);
-      result.samples.push_back(v);
-    }
+    if (opts.record) record_sample(t, v);
     v_prev = v;
     dt = std::min(dt * opts.dt_grow, opts.dt_max);
   }

@@ -26,6 +26,13 @@ struct TransientOptions {
   NewtonOptions newton;
   Integrator integrator = Integrator::BackwardEuler;
   bool record = true;           // keep full waveforms (needed for measures)
+  // Selective recording: when either probe list is non-empty (and record
+  // is true), only the listed node voltages / branch currents are stored
+  // per step instead of the whole unknown vector. Energy accounting is
+  // unaffected — energy-only runs can probe a single node instead of
+  // paying O(unknowns) memory per step.
+  std::vector<NodeId> probe_nodes;
+  std::vector<BranchId> probe_branches;
 };
 
 class TransientResult {
@@ -52,9 +59,12 @@ class TransientResult {
     return source_energy_;
   }
 
-  // Raw recording (used by Transient and tests).
+  // Raw recording (used by Transient and tests). When recorded_unknowns
+  // is empty each sample holds the full unknown vector; otherwise sample
+  // column j holds unknown recorded_unknowns[j] (probe recording).
   std::vector<double> times;
-  std::vector<std::vector<double>> samples;  // per step: full unknown vector
+  std::vector<std::vector<double>> samples;
+  std::vector<std::size_t> recorded_unknowns;
   int n_node_unknowns = 0;
   std::map<std::string, double> source_energy_;
   std::map<std::string, double> dissipation_;

@@ -92,6 +92,9 @@ spice::TransientResult SearchFixture::run(double dt_max) {
   opts.t_end = t_end_;
   opts.dt_init = 1e-13;
   opts.dt_max = dt_max;
+  // metrics() only reads the match line, so record just that node instead
+  // of the full unknown vector (O(width) memory per step otherwise).
+  opts.probe_nodes = {ml_};
   return spice::run_transient(circuit_, opts);
 }
 

@@ -1,0 +1,76 @@
+// Deterministic parallel sweep: run N independent trials across a thread
+// pool and collect results in trial order.
+//
+// Determinism contract: each trial receives a seed derived only from
+// (base_seed, trial index) via a splitmix64 mix, and results land in a
+// pre-sized vector slot — so the output is bit-identical for any thread
+// count, including the serial fallback. The trial body must not share
+// mutable state between trials (one Circuit per trial, never one Circuit
+// on many threads — see Circuit::solver_cache).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "util/Expect.h"
+#include "util/ThreadPool.h"
+
+namespace nemtcam::util {
+
+struct SweepOptions {
+  // 0 → default_thread_count(). 1 runs inline on the calling thread.
+  std::size_t threads = 0;
+  std::uint64_t base_seed = 0x9e3779b97f4a7c15ull;
+};
+
+// splitmix64 finalizer: decorrelates consecutive trial indices into
+// independent-looking 64-bit seeds.
+inline std::uint64_t sweep_trial_seed(std::uint64_t base_seed,
+                                      std::size_t trial) {
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ull * (trial + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Runs body(trial, seed) for trial in [0, n_trials) and returns the
+// results ordered by trial index. Exceptions thrown by a trial are
+// captured and rethrown on the calling thread (the first by trial order).
+template <typename R>
+std::vector<R> run_sweep(std::size_t n_trials,
+                         const std::function<R(std::size_t, std::uint64_t)>& body,
+                         const SweepOptions& opts = {}) {
+  std::vector<R> results(n_trials);
+  if (n_trials == 0) return results;
+  std::vector<std::exception_ptr> errors(n_trials);
+
+  const std::size_t threads =
+      opts.threads == 0 ? default_thread_count() : opts.threads;
+  if (threads == 1 || n_trials == 1) {
+    for (std::size_t i = 0; i < n_trials; ++i)
+      results[i] = body(i, sweep_trial_seed(opts.base_seed, i));
+    return results;
+  }
+
+  {
+    ThreadPool pool(std::min(threads, n_trials));
+    for (std::size_t i = 0; i < n_trials; ++i) {
+      pool.submit([&, i] {
+        try {
+          results[i] = body(i, sweep_trial_seed(opts.base_seed, i));
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  for (std::size_t i = 0; i < n_trials; ++i)
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  return results;
+}
+
+}  // namespace nemtcam::util

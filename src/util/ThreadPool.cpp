@@ -1,0 +1,103 @@
+#include "util/ThreadPool.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/Expect.h"
+
+namespace nemtcam::util {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("NEMTCAM_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  NEMTCAM_EXPECT(n_threads > 0);
+  queues_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    ++pending_;
+    ++queued_;
+    WorkerQueue& q = *queues_[next_queue_];
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    std::lock_guard<std::mutex> qlock(q.mutex);
+    q.tasks.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(cv_mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  // Own queue first (back: LIFO keeps caches warm), then steal from the
+  // front of the others, scanning from self+1 so thieves spread out.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t k = 1; k < queues_.size(); ++k) {
+    WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(cv_mutex_);
+        --queued_;
+      }
+      task();
+      std::lock_guard<std::mutex> lock(cv_mutex_);
+      if (--pending_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(cv_mutex_);
+    if (stop_) return;
+    // queued_ may lag a concurrent pop by a moment; the worst case is one
+    // extra scan of the queues, never a lost wakeup (submit signals under
+    // the same mutex).
+    cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+  }
+}
+
+}  // namespace nemtcam::util

@@ -1,0 +1,63 @@
+// Small work-stealing thread pool for embarrassingly parallel sweeps.
+//
+// Each worker owns a deque guarded by its own mutex: the owner pushes and
+// pops at the back, idle workers steal from the front of a victim's deque.
+// Tasks are submitted round-robin across workers. The pool is intended for
+// coarse-grained jobs (one SPICE trial each), so per-task overhead is not
+// the bottleneck; correctness and determinism of the *caller* matter more
+// than queue micro-optimisation.
+//
+// Thread count resolution (default_thread_count): the NEMTCAM_THREADS
+// environment variable when set and positive, else hardware_concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nemtcam::util {
+
+std::size_t default_thread_count();
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t n_threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  // Enqueues a task. Tasks must not submit further tasks to this pool.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished running.
+  void wait_idle();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool try_pop(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex cv_mutex_;
+  std::condition_variable cv_;        // wakes workers when work arrives
+  std::condition_variable idle_cv_;   // wakes wait_idle when all work is done
+  std::size_t pending_ = 0;           // submitted but not yet finished
+  std::size_t queued_ = 0;            // submitted but not yet popped
+  std::size_t next_queue_ = 0;        // round-robin submission cursor
+  bool stop_ = false;
+};
+
+}  // namespace nemtcam::util

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "linalg/DenseLu.h"
 #include "linalg/DenseMatrix.h"
 #include "linalg/SparseLu.h"
@@ -137,6 +139,134 @@ TEST(SparseLu, ResidualIsSmallOnLargerSystem) {
   const auto x = lu.solve(b);
   const auto ax = s_copy.multiply(x);
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-8);
+}
+
+// Owning CSR buffer for the refactorize tests: the pattern is built once
+// and the values mutated in place, exactly how AssemblyCache drives SparseLu.
+struct CsrSystem {
+  std::size_t n = 0;
+  std::vector<std::size_t> row_ptr, cols;
+  std::vector<double> vals;
+
+  CsrView view() const { return {n, row_ptr.data(), cols.data(), vals.data()}; }
+
+  DenseMatrix dense() const {
+    DenseMatrix d(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k)
+        d(r, cols[k]) += vals[k];
+    return d;
+  }
+};
+
+// Random diagonally-dominant MNA-like pattern (explicit zeros allowed so
+// the structural schedule is exercised).
+CsrSystem make_random_system(Rng& rng, std::size_t n) {
+  CsrSystem s;
+  s.n = n;
+  s.row_ptr.push_back(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::size_t> row_cols = {i};
+    const int offdiag = rng.uniform_int(0, 4);
+    for (int k = 0; k < offdiag; ++k) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(n) - 1));
+      if (j != i) row_cols.push_back(j);
+    }
+    std::sort(row_cols.begin(), row_cols.end());
+    row_cols.erase(std::unique(row_cols.begin(), row_cols.end()),
+                   row_cols.end());
+    for (std::size_t j : row_cols) {
+      s.cols.push_back(j);
+      s.vals.push_back(j == i ? rng.uniform(3.0, 6.0)
+                              : rng.uniform(-0.5, 0.5));
+    }
+    s.row_ptr.push_back(s.cols.size());
+  }
+  return s;
+}
+
+TEST(SparseLuRefactorize, MatchesDenseAcrossPerturbedValues) {
+  Rng rng(321);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(3, 40));
+    CsrSystem sys = make_random_system(rng, n);
+    SparseLu lu(sys.view());  // symbolic analysis + first numeric factor
+
+    for (int round = 0; round < 5; ++round) {
+      // Same pattern, new values — the Newton-iteration situation.
+      for (std::size_t k = 0; k < sys.vals.size(); ++k)
+        sys.vals[k] *= rng.uniform(0.8, 1.25);
+      ASSERT_TRUE(lu.refactorize(sys.view()));
+
+      std::vector<double> b(n);
+      for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+      DenseLu dlu(sys.dense());
+      const auto xd = dlu.solve(b);
+      const auto xs = lu.solve(b);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+    }
+  }
+}
+
+TEST(SparseLuRefactorize, HandlesEntryThatWasZeroAtAnalysisTime) {
+  // The (2,0) coupling is an exact zero when the schedule is recorded; a
+  // value-driven recording would drop it and silently mis-solve later.
+  CsrSystem sys;
+  sys.n = 3;
+  sys.row_ptr = {0, 2, 4, 6};
+  sys.cols = {0, 1, 1, 2, 0, 2};
+  sys.vals = {4.0, 1.0, 3.0, 1.0, 0.0, 5.0};
+  SparseLu lu(sys.view());
+
+  sys.vals[4] = 2.0;  // the formerly-zero entry comes alive
+  ASSERT_TRUE(lu.refactorize(sys.view()));
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  DenseLu dlu(sys.dense());
+  const auto xd = dlu.solve(b);
+  const auto xs = lu.solve(b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-12);
+}
+
+TEST(SparseLuRefactorize, DegeneratePivotFallsBackToFullFactorization) {
+  // Dense 2x2 pattern. The first factorization pivots on the dominant
+  // (0,0); the new values make that pivot numerically dead while the
+  // matrix itself stays well-conditioned, so refactorize must refuse and
+  // a fresh factorize (free to re-pivot) must succeed.
+  CsrSystem sys;
+  sys.n = 2;
+  sys.row_ptr = {0, 2, 4};
+  sys.cols = {0, 1, 0, 1};
+  sys.vals = {4.0, 1.0, 1.0, 1.0};
+  SparseLu lu(sys.view());
+
+  sys.vals = {1e-40, 1.0, 1.0, 1.0};
+  EXPECT_FALSE(lu.refactorize(sys.view()));
+
+  lu.factorize(sys.view());  // the caller-side fallback
+  const auto x = lu.solve({1.0, 2.0});
+  DenseLu dlu(sys.dense());
+  const auto xd = dlu.solve({1.0, 2.0});
+  EXPECT_NEAR(x[0], xd[0], 1e-9);
+  EXPECT_NEAR(x[1], xd[1], 1e-9);
+}
+
+TEST(SparseLuRefactorize, UnanalyzedOrMismatchedPatternReturnsFalse) {
+  SparseLu lu;
+  CsrSystem sys;
+  sys.n = 2;
+  sys.row_ptr = {0, 2, 4};
+  sys.cols = {0, 1, 0, 1};
+  sys.vals = {2.0, 1.0, 1.0, 2.0};
+  EXPECT_FALSE(lu.refactorize(sys.view()));  // never analyzed
+
+  lu.factorize(sys.view());
+  CsrSystem other;  // same n, different pattern
+  other.n = 2;
+  other.row_ptr = {0, 1, 2};
+  other.cols = {0, 1};
+  other.vals = {2.0, 2.0};
+  EXPECT_FALSE(lu.refactorize(other.view()));
 }
 
 TEST(VectorOps, DotAndNorm) {

@@ -1,0 +1,146 @@
+// ThreadPool / run_sweep determinism, plus solver fast-path equivalence:
+// the parallel sweep must produce bit-identical results at any thread
+// count, and the assembly-cache Newton path must agree with the legacy
+// rebuild-everything path on a real TCAM transaction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "spice/Newton.h"
+#include "tcam/Calibration.h"
+#include "tcam/Rram2T2RRow.h"
+#include "util/Sweep.h"
+#include "util/ThreadPool.h"
+
+namespace {
+
+using namespace nemtcam;
+using nemtcam::tcam::Calibration;
+using nemtcam::tcam::Rram2T2RRow;
+using nemtcam::tcam::SearchMetrics;
+
+TEST(ThreadPool, RunsEveryTask) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 500; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, WaitIdleWithNoTasksReturnsImmediately) {
+  util::ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(RunSweep, SeedsDependOnlyOnTrialIndex) {
+  const auto a = util::sweep_trial_seed(42, 7);
+  const auto b = util::sweep_trial_seed(42, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(util::sweep_trial_seed(42, 8), a);
+  EXPECT_NE(util::sweep_trial_seed(43, 7), a);
+}
+
+TEST(RunSweep, ResultsAreOrderedAndThreadCountInvariant) {
+  const auto body = [](std::size_t trial, std::uint64_t seed) {
+    // Cheap but seed-sensitive computation.
+    return static_cast<double>(seed % 1000003) + 1e-3 * static_cast<double>(trial);
+  };
+  util::SweepOptions serial;
+  serial.threads = 1;
+  util::SweepOptions parallel;
+  parallel.threads = 4;
+  const auto r1 = util::run_sweep<double>(64, body, serial);
+  const auto r4 = util::run_sweep<double>(64, body, parallel);
+  ASSERT_EQ(r1.size(), 64u);
+  EXPECT_EQ(r1, r4);  // bit-identical, not just close
+}
+
+TEST(RunSweep, PropagatesTrialExceptions) {
+  util::SweepOptions opts;
+  opts.threads = 3;
+  EXPECT_THROW(
+      util::run_sweep<int>(
+          8,
+          [](std::size_t trial, std::uint64_t) -> int {
+            if (trial == 5) throw std::runtime_error("trial 5 boom");
+            return static_cast<int>(trial);
+          },
+          opts),
+      std::runtime_error);
+}
+
+// The real consumer: a small RRAM variation Monte-Carlo, serial vs
+// pooled. Every trial builds its own circuit and derives its variation
+// seed from the trial index alone, so errors and margins must agree
+// exactly between thread counts.
+TEST(RunSweep, RramVariationSweepIsThreadCountInvariant) {
+  struct Outcome {
+    int errors;
+    double ml_min_match;
+    bool operator==(const Outcome& o) const {
+      return errors == o.errors && ml_min_match == o.ml_min_match;
+    }
+  };
+  const auto trial_body = [](std::size_t trial, std::uint64_t) {
+    Rram2T2RRow row(8, 16, Calibration::standard());
+    row.set_resistance_sigma(0.6);
+    row.set_variation_seed(static_cast<std::uint64_t>(trial) + 1);
+    core::TernaryWord word(8);
+    for (std::size_t i = 0; i < 8; ++i)
+      word[i] = (i % 2) ? core::Ternary::Zero : core::Ternary::One;
+    row.store(word);
+    core::TernaryWord miss = word;
+    miss[0] = core::Ternary::Zero;
+    const SearchMetrics mm = row.search(miss);
+    const SearchMetrics mt = row.search(word);
+    Outcome out{0, mt.ml_min};
+    if (!mm.ok || !mt.ok || mm.matched || !mt.matched) out.errors = 1;
+    return out;
+  };
+  util::SweepOptions serial;
+  serial.threads = 1;
+  util::SweepOptions pooled;
+  pooled.threads = 3;
+  const auto r1 = util::run_sweep<Outcome>(4, trial_body, serial);
+  const auto rn = util::run_sweep<Outcome>(4, trial_body, pooled);
+  ASSERT_EQ(r1.size(), rn.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) EXPECT_TRUE(r1[i] == rn[i]);
+}
+
+// Assembly-cache Newton path vs the legacy rebuild path on the same
+// transaction. The two paths may pick different (equally valid) pivot
+// sequences, so agreement is to solver tolerance, not bitwise.
+TEST(SolverFastPath, MatchesLegacyNewtonPathOnTcamSearch) {
+  const auto run_one = [] {
+    Rram2T2RRow row(8, 16, Calibration::standard());
+    core::TernaryWord word(8);
+    for (std::size_t i = 0; i < 8; ++i)
+      word[i] = (i % 2) ? core::Ternary::Zero : core::Ternary::One;
+    row.store(word);
+    return row.search(word);
+  };
+  spice::set_default_use_assembly_cache(true);
+  const SearchMetrics fast = run_one();
+  spice::set_default_use_assembly_cache(false);
+  const SearchMetrics legacy = run_one();
+  spice::set_default_use_assembly_cache(true);
+
+  ASSERT_TRUE(fast.ok);
+  ASSERT_TRUE(legacy.ok);
+  EXPECT_EQ(fast.matched, legacy.matched);
+  EXPECT_NEAR(fast.ml_min, legacy.ml_min, 1e-6);
+  EXPECT_NEAR(fast.ml_final, legacy.ml_final, 1e-6);
+  EXPECT_NEAR(fast.energy, legacy.energy, 1e-6 * std::abs(legacy.energy) + 1e-18);
+}
+
+}  // namespace

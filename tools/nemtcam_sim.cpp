@@ -1,19 +1,24 @@
 // nemtcam_sim — command-line circuit simulator over the nemtcam engine.
 //
-//   nemtcam_sim deck.sp [--points N]
+//   nemtcam_sim deck.sp [deck2.sp ...] [--points N] [--threads N]
 //
-// Parses a SPICE-style netlist (see spice/Netlist.h for the supported
+// Parses SPICE-style netlists (see spice/Netlist.h for the supported
 // subset), runs the requested analysis (.op or .tran), and prints the
 // .print node voltages — as a DC table or as N transient sample rows —
-// plus the per-source delivered-energy ledger.
+// plus the per-source delivered-energy ledger. Multiple decks are
+// simulated concurrently (--threads, default NEMTCAM_THREADS or the core
+// count); reports still print in argument order.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "netlist/Netlist.h"
 #include "spice/Newton.h"
 #include "spice/Transient.h"
+#include "util/Sweep.h"
 #include "util/Table.h"
 
 using namespace nemtcam;
@@ -22,32 +27,27 @@ using namespace nemtcam::spice;
 namespace {
 
 int usage() {
-  std::fprintf(stderr, "usage: nemtcam_sim <deck.sp> [--points N]\n");
+  std::fprintf(stderr,
+               "usage: nemtcam_sim <deck.sp> [more decks...]"
+               " [--points N] [--threads N]\n");
   return 2;
 }
 
-}  // namespace
+struct DeckReport {
+  bool ok = false;
+  std::string text;  // full report (or the error message when !ok)
+};
 
-int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  int points = 25;
-  const char* path = nullptr;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
-      points = std::atoi(argv[++i]);
-      if (points < 2) points = 2;
-    } else if (argv[i][0] != '-') {
-      path = argv[i];
-    } else {
-      return usage();
-    }
-  }
-  if (path == nullptr) return usage();
+// Simulates one deck and renders its whole report into a string, so decks
+// can run concurrently without interleaving their output.
+DeckReport simulate_deck(const std::string& path, int points) {
+  DeckReport rep;
+  std::ostringstream out;
 
   std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "nemtcam_sim: cannot open '%s'\n", path);
-    return 1;
+    rep.text = "nemtcam_sim: cannot open '" + path + "'\n";
+    return rep;
   }
   std::stringstream buf;
   buf << in.rdbuf();
@@ -56,13 +56,13 @@ int main(int argc, char** argv) {
   try {
     deck = parse_netlist(buf.str());
   } catch (const NetlistError& e) {
-    std::fprintf(stderr, "nemtcam_sim: %s\n", e.what());
-    return 1;
+    rep.text = std::string("nemtcam_sim: ") + e.what() + "\n";
+    return rep;
   }
-  std::printf("* %s\n", deck.title.c_str());
-  std::printf("* %d nodes, %d unknowns, %zu devices\n",
-              static_cast<int>(deck.circuit->node_count()),
-              deck.circuit->unknown_count(), deck.circuit->devices().size());
+  out << "* " << deck.title << "\n";
+  out << "* " << deck.circuit->node_count() << " nodes, "
+      << deck.circuit->unknown_count() << " unknowns, "
+      << deck.circuit->devices().size() << " devices\n";
 
   Circuit& ckt = *deck.circuit;
 
@@ -70,8 +70,8 @@ int main(int argc, char** argv) {
       deck.analysis.kind == ParsedAnalysis::Kind::None) {
     const auto dc = dc_operating_point(ckt);
     if (!dc.converged) {
-      std::fprintf(stderr, "nemtcam_sim: DC operating point did not converge\n");
-      return 1;
+      rep.text = "nemtcam_sim: DC operating point did not converge\n";
+      return rep;
     }
     util::Table t({"node", "voltage"});
     const auto& nodes = deck.print_nodes;
@@ -86,9 +86,10 @@ int main(int argc, char** argv) {
                    util::si_format(dc.v[static_cast<std::size_t>(n - 1)], "V")});
       }
     }
-    std::printf("\nDC operating point\n");
-    t.print();
-    return 0;
+    out << "\nDC operating point\n" << t.to_string();
+    rep.ok = true;
+    rep.text = out.str();
+    return rep;
   }
 
   // Transient.
@@ -98,9 +99,8 @@ int main(int argc, char** argv) {
   opts.dt_init = opts.dt_max / 100.0;
   const auto res = run_transient(ckt, opts);
   if (!res.finished) {
-    std::fprintf(stderr, "nemtcam_sim: transient failed: %s\n",
-                 res.failure.c_str());
-    return 1;
+    rep.text = "nemtcam_sim: transient failed: " + res.failure + "\n";
+    return rep;
   }
 
   std::vector<std::string> headers = {"t"};
@@ -117,13 +117,60 @@ int main(int argc, char** argv) {
       row.push_back(util::si_format(tr.at(tp), "V", 4));
     t.add_row(row);
   }
-  std::printf("\nTransient (%zu accepted steps)\n", res.steps_taken);
-  t.print();
+  out << "\nTransient (" << res.steps_taken << " accepted steps)\n"
+      << t.to_string();
 
   util::Table e({"source", "delivered energy"});
   for (const auto& [name, energy] : res.source_energies())
     e.add_row({name, util::si_format(energy, "J")});
-  std::printf("\nEnergy ledger\n");
-  e.print();
-  return 0;
+  out << "\nEnergy ledger\n" << e.to_string();
+  rep.ok = true;
+  rep.text = out.str();
+  return rep;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  int points = 25;
+  std::size_t threads = 0;  // 0 → run_sweep default
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--points") == 0 && i + 1 < argc) {
+      points = std::atoi(argv[++i]);
+      if (points < 2) points = 2;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 1) return usage();
+      threads = static_cast<std::size_t>(n);
+    } else if (argv[i][0] != '-') {
+      paths.emplace_back(argv[i]);
+    } else {
+      return usage();
+    }
+  }
+  if (paths.empty()) return usage();
+
+  util::SweepOptions sweep;
+  sweep.threads = paths.size() == 1 ? 1 : threads;
+  const auto reports = util::run_sweep<DeckReport>(
+      paths.size(),
+      [&paths, points](std::size_t i, std::uint64_t) {
+        return simulate_deck(paths[i], points);
+      },
+      sweep);
+
+  bool all_ok = true;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports.size() > 1)
+      std::printf("%s==== %s ====\n", i == 0 ? "" : "\n", paths[i].c_str());
+    if (reports[i].ok) {
+      std::fputs(reports[i].text.c_str(), stdout);
+    } else {
+      std::fputs(reports[i].text.c_str(), stderr);
+      all_ok = false;
+    }
+  }
+  return all_ok ? 0 : 1;
 }
