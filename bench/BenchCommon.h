@@ -8,10 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/Ternary.h"
+#include "spice/Transient.h"
 #include "tcam/TcamRow.h"
 #include "util/Table.h"
 
@@ -50,6 +53,46 @@ inline core::TernaryWord one_bit_mismatch_key(const core::TernaryWord& w) {
   key[0] = (key[0] == core::Ternary::One) ? core::Ternary::Zero
                                           : core::Ternary::One;
   return key;
+}
+
+// Consumes the step-control CLI flags shared by every bench binary —
+// --reltol=X / --abstol=X / --dt-scale=X (or the two-argument "--reltol X"
+// form) and --fixed-step — applying them to the process-wide transient
+// defaults and removing them from argv before benchmark::Initialize rejects
+// them as unknown. Lets any ablation bench be rerun at a different accuracy
+// target (or on the legacy fixed grid, optionally refined by --dt-scale)
+// without recompiling.
+inline void consume_step_control_flags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* a = argv[i];
+    double val = 0.0;
+    const auto flag_value = [&](const char* name) -> bool {
+      const std::size_t len = std::strlen(name);
+      if (std::strncmp(a, name, len) != 0) return false;
+      if (a[len] == '=') {
+        val = std::atof(a + len + 1);
+        return true;
+      }
+      if (a[len] == '\0' && i + 1 < *argc) {
+        val = std::atof(argv[++i]);
+        return true;
+      }
+      return false;
+    };
+    if (std::strcmp(a, "--fixed-step") == 0) {
+      spice::set_default_step_control(spice::StepControl::FixedGrowth);
+    } else if (flag_value("--reltol") && val > 0.0) {
+      spice::set_default_lte_tolerances(val, spice::default_lte_abstol_v());
+    } else if (flag_value("--abstol") && val > 0.0) {
+      spice::set_default_lte_tolerances(spice::default_lte_reltol(), val);
+    } else if (flag_value("--dt-scale") && val > 0.0) {
+      spice::set_default_fixed_dt_scale(val);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
 }
 
 // google-benchmark can invoke a benchmark function more than once even at

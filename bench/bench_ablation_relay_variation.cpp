@@ -61,6 +61,7 @@ BENCHMARK(BM_RelayVariation)
 }  // namespace
 
 int main(int argc, char** argv) {
+  nemtcam::bench::consume_step_control_flags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 

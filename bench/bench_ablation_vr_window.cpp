@@ -52,6 +52,7 @@ BENCHMARK(BM_VrSweep)
 }  // namespace
 
 int main(int argc, char** argv) {
+  nemtcam::bench::consume_step_control_flags(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
 

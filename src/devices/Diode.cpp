@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "devices/Passive.h"
-
 namespace nemtcam::devices {
 
 namespace {
@@ -11,7 +9,8 @@ constexpr double kThermalVoltage = 0.02585;
 }
 
 Diode::Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params)
-    : Device(std::move(name)), anode_(anode), cathode_(cathode), params_(params) {
+    : Device(std::move(name)), anode_(anode), cathode_(cathode), params_(params),
+      cj_c_(params.c_junction) {
   NEMTCAM_EXPECT(params_.i_sat > 0.0);
   NEMTCAM_EXPECT(params_.n_ideality >= 1.0);
 }
@@ -35,7 +34,11 @@ void Diode::stamp(Stamper& s, const StampContext& ctx) {
                        ? params_.i_sat * std::exp(40.0) / nvt
                        : params_.i_sat * std::exp(x) / nvt;
   s.nonlinear_current(anode_, cathode_, i, g, v);
-  stamp_linear_cap(s, ctx, anode_, cathode_, params_.c_junction);
+  cj_c_.stamp(s, ctx, anode_, cathode_);
+}
+
+void Diode::commit(const StampContext& ctx) {
+  cj_c_.commit(ctx, anode_, cathode_);
 }
 
 double Diode::power(const StampContext& ctx) const {

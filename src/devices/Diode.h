@@ -3,6 +3,7 @@
 // and models the well/junction clamps in peripheral circuits.
 #pragma once
 
+#include "devices/Passive.h"
 #include "spice/Device.h"
 #include "spice/Stamper.h"
 
@@ -24,6 +25,7 @@ class Diode final : public Device {
   Diode(std::string name, NodeId anode, NodeId cathode, DiodeParams params = {});
 
   void stamp(Stamper& s, const StampContext& ctx) override;
+  void commit(const StampContext& ctx) override;
   double power(const StampContext& ctx) const override;
 
   // Diode current at a given forward voltage (model evaluation, for tests).
@@ -32,6 +34,7 @@ class Diode final : public Device {
  private:
   NodeId anode_, cathode_;
   DiodeParams params_;
+  CapCompanion cj_c_;
 };
 
 }  // namespace nemtcam::devices

@@ -1,13 +1,14 @@
 #include "devices/Fefet.h"
 
 #include <algorithm>
-
-#include "devices/Passive.h"
+#include <limits>
 
 namespace nemtcam::devices {
 
 Fefet::Fefet(std::string name, NodeId d, NodeId g, NodeId s, FefetParams params)
-    : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params) {
+    : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params),
+      cgfe_c_(params.c_fe + params.fet.cgs), cgd_c_(params.fet.cgd),
+      cdb_c_(params.fet.cdb), csb_c_(params.fet.csb) {
   NEMTCAM_EXPECT(params_.vth_low < params_.vth_high);
   NEMTCAM_EXPECT(params_.v_coercive < params_.v_write);
   NEMTCAM_EXPECT(params_.t_write > 0.0);
@@ -31,10 +32,10 @@ void Fefet::stamp(Stamper& s, const StampContext& ctx) {
   s.current(d_, s_, e.ids - (e.g_vg * vg + e.g_vd * vd + e.g_vs * vs));
 
   // Ferroelectric gate stack plus the FET's own parasitics.
-  stamp_linear_cap(s, ctx, g_, s_, params_.c_fe + params_.fet.cgs);
-  stamp_linear_cap(s, ctx, g_, d_, params_.fet.cgd);
-  stamp_linear_cap(s, ctx, d_, spice::kGround, params_.fet.cdb);
-  stamp_linear_cap(s, ctx, s_, spice::kGround, params_.fet.csb);
+  cgfe_c_.stamp(s, ctx, g_, s_);
+  cgd_c_.stamp(s, ctx, g_, d_);
+  cdb_c_.stamp(s, ctx, d_, spice::kGround);
+  csb_c_.stamp(s, ctx, s_, spice::kGround);
 }
 
 void Fefet::commit(const StampContext& ctx) {
@@ -50,11 +51,44 @@ void Fefet::commit(const StampContext& ctx) {
     p_ -= rate * dt / params_.t_write * 2.0;
   }
   p_ = std::clamp(p_, -1.0, 1.0);
+  moving_ = (vgs > vc && p_ < 1.0) || (vgs < -vc && p_ > -1.0);
   if (p_before < 0.9 && p_ >= 0.9) t_program_ = ctx.t();
   if (p_before > -0.9 && p_ <= -0.9) t_erase_ = ctx.t();
+
+  cgfe_c_.commit(ctx, g_, s_);
+  cgd_c_.commit(ctx, g_, d_);
+  cdb_c_.commit(ctx, d_, spice::kGround);
+  csb_c_.commit(ctx, s_, spice::kGround);
 }
 
-double Fefet::max_dt_hint() const { return params_.t_write / 200.0; }
+double Fefet::max_dt_hint() const {
+  // Resolve polarization motion; an idle device leaves the step free — the
+  // event function guarantees a step lands on the coercive-voltage crossing
+  // that starts the motion.
+  if (!moving_) return std::numeric_limits<double>::infinity();
+  return params_.t_write / 200.0;
+}
+
+double Fefet::event_function(const StampContext& ctx) const {
+  if (ctx.dc()) return std::numeric_limits<double>::infinity();
+  // Armed surface is chosen from the step-start voltage and committed
+  // state, so both ends of a step evaluate the same surface.
+  const double vc = params_.v_coercive;
+  const double vgs_prev = ctx.v_prev(g_) - ctx.v_prev(s_);
+  const double vgs = ctx.v(g_) - ctx.v(s_);
+  if (vgs_prev > vc && p_ < 1.0) {
+    // Erase in progress: the event is polarization saturating at +1,
+    // projected with this step's end-point rate.
+    const double rate = std::max(vgs - vc, 0.0) / (params_.v_write - vc);
+    return 1.0 - (p_ + rate * ctx.dt() / params_.t_write * 2.0);
+  }
+  if (vgs_prev < -vc && p_ > -1.0) {
+    const double rate = std::max(-vgs - vc, 0.0) / (params_.v_write - vc);
+    return (p_ - rate * ctx.dt() / params_.t_write * 2.0) + 1.0;
+  }
+  // Idle: the event is the gate drive crossing either coercive threshold.
+  return std::min(vc - vgs, vgs + vc);
+}
 
 double Fefet::power(const StampContext& ctx) const {
   const MosEval e =

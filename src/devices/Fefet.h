@@ -12,6 +12,7 @@
 #pragma once
 
 #include "devices/Mosfet.h"
+#include "devices/Passive.h"
 
 namespace nemtcam::devices {
 
@@ -35,6 +36,7 @@ class Fefet final : public Device {
   void stamp(Stamper& s, const StampContext& ctx) override;
   void commit(const StampContext& ctx) override;
   double max_dt_hint() const override;
+  double event_function(const StampContext& ctx) const override;
   double power(const StampContext& ctx) const override;
 
   double polarization() const noexcept { return p_; }
@@ -53,7 +55,9 @@ class Fefet final : public Device {
  private:
   NodeId d_, g_, s_;
   FefetParams params_;
-  double p_ = -1.0;  // polarization state
+  CapCompanion cgfe_c_, cgd_c_, cdb_c_, csb_c_;
+  double p_ = -1.0;    // polarization state
+  bool moving_ = false;  // last committed step had polarization in motion
   double t_program_ = -1.0;
   double t_erase_ = -1.0;
 };

@@ -93,7 +93,9 @@ MosEval ekv_eval(const MosfetParams& p, double vth_eff, double v_g, double v_d,
 
 Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s,
                MosfetParams params)
-    : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params) {
+    : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params),
+      cgs_c_(params.cgs), cgd_c_(params.cgd), cdb_c_(params.cdb),
+      csb_c_(params.csb) {
   NEMTCAM_EXPECT(params_.kp > 0.0);
   NEMTCAM_EXPECT(params_.n_slope >= 1.0);
 }
@@ -112,10 +114,26 @@ void Mosfet::stamp(Stamper& s, const StampContext& ctx) {
   const double i_lin = e.g_vg * vg + e.g_vd * vd + e.g_vs * vs;
   s.current(d_, s_, e.ids - i_lin);
 
-  stamp_linear_cap(s, ctx, g_, s_, params_.cgs);
-  stamp_linear_cap(s, ctx, g_, d_, params_.cgd);
-  stamp_linear_cap(s, ctx, d_, spice::kGround, params_.cdb);
-  stamp_linear_cap(s, ctx, s_, spice::kGround, params_.csb);
+  cgs_c_.stamp(s, ctx, g_, s_);
+  cgd_c_.stamp(s, ctx, g_, d_);
+  cdb_c_.stamp(s, ctx, d_, spice::kGround);
+  csb_c_.stamp(s, ctx, s_, spice::kGround);
+}
+
+void Mosfet::commit(const StampContext& ctx) {
+  cgs_c_.commit(ctx, g_, s_);
+  cgd_c_.commit(ctx, g_, d_);
+  cdb_c_.commit(ctx, d_, spice::kGround);
+  csb_c_.commit(ctx, s_, spice::kGround);
+}
+
+double Mosfet::event_function(const StampContext& ctx) const {
+  if (!params_.event_on_vth || ctx.dc())
+    return std::numeric_limits<double>::infinity();
+  // Signed distance to the conduction edge: positive while the channel is
+  // on, so the engine lands a step where the gate drive falls through V_th.
+  const double sign = params_.type == MosType::Nmos ? 1.0 : -1.0;
+  return sign * (ctx.v(g_) - ctx.v(s_)) - params_.vth;
 }
 
 double Mosfet::power(const StampContext& ctx) const {

@@ -10,6 +10,7 @@
 // TCAM's retention time, so it matters here.
 #pragma once
 
+#include "devices/Passive.h"
 #include "spice/Device.h"
 #include "spice/Stamper.h"
 
@@ -31,6 +32,11 @@ struct MosfetParams {
   double cgd = 0.0;        // gate-drain capacitance (F)
   double cdb = 0.0;        // drain-bulk junction capacitance to ground (F)
   double csb = 0.0;        // source-bulk junction capacitance to ground (F)
+  // Opt-in accuracy knob for LTE-controlled transients: report the V_GS =
+  // V_th conduction edge through Device::event_function so the engine lands
+  // a step on turn-off crossings. Off by default — the EKV interpolation is
+  // smooth, so most circuits don't need the extra solves.
+  bool event_on_vth = false;
 
   static MosfetParams nmos_lp(double width_scale = 1.0);
   static MosfetParams pmos_lp(double width_scale = 1.0);
@@ -55,6 +61,8 @@ class Mosfet final : public Device {
   Mosfet(std::string name, NodeId d, NodeId g, NodeId s, MosfetParams params);
 
   void stamp(Stamper& s, const StampContext& ctx) override;
+  void commit(const StampContext& ctx) override;
+  double event_function(const StampContext& ctx) const override;
   double power(const StampContext& ctx) const override;
 
   const MosfetParams& params() const noexcept { return params_; }
@@ -64,6 +72,7 @@ class Mosfet final : public Device {
  private:
   NodeId d_, g_, s_;
   MosfetParams params_;
+  CapCompanion cgs_c_, cgd_c_, cdb_c_, csb_c_;
 };
 
 }  // namespace nemtcam::devices

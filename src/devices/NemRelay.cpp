@@ -45,52 +45,80 @@ void NemRelay::stamp(Stamper& s, const StampContext& ctx) {
   s.nonlinear_current(g_, b_, i, g, v_gb);
 }
 
+NemRelay::MechDrive NemRelay::drive_for(double v_now_eff, double v_before_eff,
+                                        double dt) const {
+  // Hysteretic target update with sub-step crossing interpolation: the
+  // portion of the step spent past a threshold drives the beam.
+  const auto crossing_fraction = [&](double level, bool rising) -> double {
+    // Fraction of the step during which the signal is beyond `level`.
+    const bool before =
+        rising ? (v_before_eff >= level) : (v_before_eff <= level);
+    const bool after = rising ? (v_now_eff >= level) : (v_now_eff <= level);
+    if (before && after) return 1.0;
+    if (!before && !after) return 0.0;
+    const double span = v_now_eff - v_before_eff;
+    if (span == 0.0) return after ? 1.0 : 0.0;
+    const double frac_at_cross = (level - v_before_eff) / span;
+    return after ? (1.0 - frac_at_cross) : frac_at_cross;
+  };
+
+  MechDrive md;  // drive_time signed: + toward closed, − toward open
+  const double f_in = crossing_fraction(params_.v_pi, /*rising=*/true);
+  const double f_out = crossing_fraction(params_.v_po, /*rising=*/false);
+  if (f_in > 0.0) {
+    md.target_closed = true;
+    md.drive_time = f_in * dt;
+  } else if (f_out > 0.0) {
+    md.target_closed = false;
+    md.drive_time = -f_out * dt;
+  } else {
+    // Inside the hysteresis window a beam heading toward contact holds its
+    // course only past the pull-in instability point: beyond z_critical the
+    // electrostatic force continues to (or stays at) contact, before it the
+    // spring returns it to rest — a short actuation glitch cannot flip the
+    // cell. A beam that has begun release keeps going regardless: once the
+    // contact lets go the spring dominates until full release. (The
+    // shrinking C_GB pushes a floating gate's voltage back above V_PO as
+    // the beam opens — re-arming the electrostatic hold here would chatter
+    // the beam at the release point forever.)
+    md.target_closed = target_closed_ && position_ >= params_.z_critical;
+    md.drive_time = md.target_closed ? dt : -dt;
+  }
+  return md;
+}
+
 void NemRelay::commit(const StampContext& ctx) {
   const double v_now = effective_vgb(ctx.v(g_) - ctx.v(b_));
   const double v_before = effective_vgb(ctx.v_prev(g_) - ctx.v_prev(b_));
-  const double dt = ctx.dt();
 
   // Update the gate charge to be consistent with the capacitance used in
   // this step's stamp (charge the solved current actually delivered).
   q_gb_ = gate_capacitance() * (ctx.v(g_) - ctx.v(b_));
 
-  // Hysteretic target update with sub-step crossing interpolation: the
-  // portion of the step spent past a threshold drives the beam.
-  auto crossing_fraction = [&](double level, bool rising) -> double {
-    // Fraction of the step during which the signal is beyond `level`.
-    const bool before = rising ? (v_before >= level) : (v_before <= level);
-    const bool after = rising ? (v_now >= level) : (v_now <= level);
-    if (before && after) return 1.0;
-    if (!before && !after) return 0.0;
-    const double span = v_now - v_before;
-    if (span == 0.0) return after ? 1.0 : 0.0;
-    const double frac_at_cross = (level - v_before) / span;
-    return after ? (1.0 - frac_at_cross) : frac_at_cross;
-  };
-
-  double drive_time = 0.0;  // signed: + toward closed, − toward open
-  const double f_in = crossing_fraction(params_.v_pi, /*rising=*/true);
-  const double f_out = crossing_fraction(params_.v_po, /*rising=*/false);
-  if (f_in > 0.0) {
-    target_closed_ = true;
-    drive_time = f_in * dt;
-  } else if (f_out > 0.0) {
-    target_closed_ = false;
-    drive_time = -f_out * dt;
-  } else {
-    // Inside the hysteresis window the electrostatic force holds the beam
-    // only past the pull-in instability point: beyond z_critical it
-    // continues to (or stays at) contact, before it the spring returns it
-    // to rest. A short actuation glitch therefore cannot flip the cell.
-    target_closed_ = position_ >= params_.z_critical;
-    drive_time = target_closed_ ? dt : -dt;
-  }
+  const MechDrive md = drive_for(v_now, v_before, ctx.dt());
+  target_closed_ = md.target_closed;
 
   const double pos_before = position_;
-  position_ += drive_time / params_.tau_mech;
+  position_ += md.drive_time / params_.tau_mech;
   position_ = std::clamp(position_, 0.0, 1.0);
   if (pos_before < 1.0 && position_ >= 1.0) t_closed_ = ctx.t();
   if (pos_before > 0.0 && position_ <= 0.0) t_opened_ = ctx.t();
+}
+
+double NemRelay::event_function(const StampContext& ctx) const {
+  if (ctx.dc()) return std::numeric_limits<double>::infinity();
+  const double v_now = effective_vgb(ctx.v(g_) - ctx.v(b_));
+  // Held closed: the contact breaks when |V_GB| falls through pull-out.
+  if (position_ >= 1.0 && target_closed_) return v_now - params_.v_po;
+  // At rest open: traversal starts when |V_GB| reaches pull-in.
+  if (position_ <= 0.0 && !target_closed_) return params_.v_pi - v_now;
+  // In flight: the event is arrival (contact at z = 1 when closing, full
+  // release at z = 0 when opening). Project the commit this step would
+  // apply; the unclamped position's overshoot is the signed distance.
+  const double v_before = effective_vgb(ctx.v_prev(g_) - ctx.v_prev(b_));
+  const MechDrive md = drive_for(v_now, v_before, ctx.dt());
+  const double z = position_ + md.drive_time / params_.tau_mech;
+  return md.target_closed ? 1.0 - z : z;
 }
 
 double NemRelay::max_dt_hint() const {

@@ -57,6 +57,7 @@ class NemRelay final : public Device {
   void stamp(Stamper& s, const StampContext& ctx) override;
   void commit(const StampContext& ctx) override;
   double max_dt_hint() const override;
+  double event_function(const StampContext& ctx) const override;
   double power(const StampContext& ctx) const override;
 
   // Forces the mechanical state (used to establish stored data before an
@@ -80,6 +81,17 @@ class NemRelay final : public Device {
 
  private:
   double effective_vgb(double v_gb) const;
+
+  // One step of the hysteretic actuation law as a pure function of the
+  // committed position and the step's |V_GB| endpoints: the latched target
+  // and the signed time the beam is driven (+ toward contact). commit()
+  // applies it; event_function() projects it to report arrival surfaces
+  // without mutating state.
+  struct MechDrive {
+    bool target_closed;
+    double drive_time;
+  };
+  MechDrive drive_for(double v_now_eff, double v_before_eff, double dt) const;
 
   NodeId d_, g_, s_, b_;
   NemRelayParams params_;

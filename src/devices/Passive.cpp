@@ -52,14 +52,27 @@ double Capacitor::stored_energy(const StampContext& ctx) const {
   return 0.5 * farads_ * v * v;
 }
 
-void stamp_linear_cap(Stamper& s, const StampContext& ctx, NodeId a, NodeId b,
-                      double farads) {
-  if (ctx.dc() || farads == 0.0) return;  // open in DC
-  const double g = farads / ctx.dt();
+double CapCompanion::current_at(const StampContext& ctx, NodeId a,
+                                NodeId b) const {
   const double v_ab = ctx.v(a) - ctx.v(b);
   const double v_ab_prev = ctx.v_prev(a) - ctx.v_prev(b);
-  const double i = g * (v_ab - v_ab_prev);
-  s.nonlinear_current(a, b, i, g, v_ab);
+  if (ctx.integrator() == spice::Integrator::Trapezoidal)
+    return 2.0 * farads_ / ctx.dt() * (v_ab - v_ab_prev) - i_prev_;
+  return farads_ / ctx.dt() * (v_ab - v_ab_prev);
+}
+
+void CapCompanion::stamp(Stamper& s, const StampContext& ctx, NodeId a,
+                         NodeId b) const {
+  if (ctx.dc() || farads_ == 0.0) return;  // open in DC
+  const bool trap = ctx.integrator() == spice::Integrator::Trapezoidal;
+  const double g = (trap ? 2.0 : 1.0) * farads_ / ctx.dt();
+  const double v_ab = ctx.v(a) - ctx.v(b);
+  s.nonlinear_current(a, b, current_at(ctx, a, b), g, v_ab);
+}
+
+void CapCompanion::commit(const StampContext& ctx, NodeId a, NodeId b) {
+  if (ctx.dc() || farads_ == 0.0) return;
+  i_prev_ = current_at(ctx, a, b);
 }
 
 }  // namespace nemtcam::devices

@@ -49,9 +49,27 @@ class Capacitor final : public Device {
   double i_prev_ = 0.0;  // used by the trapezoidal companion
 };
 
-// Shared helper: stamps the BE companion of a fixed linear capacitance
-// between two nodes (used by MOSFET/FeFET internal capacitances).
-void stamp_linear_cap(Stamper& s, const StampContext& ctx, NodeId a, NodeId b,
-                      double farads);
+// Embeddable companion for a fixed linear capacitance owned by a composite
+// device (MOSFET/FeFET/diode parasitics): same Backward-Euler/trapezoidal
+// scheme as Capacitor, carrying the previous step's current so the
+// trapezoidal form stays second-order on internal nodes too. stamp() runs
+// at every Newton iterate; commit() exactly once per accepted step (the
+// engine guarantees rejected steps never reach commit, so i_prev stays
+// consistent under LTE step rejection).
+class CapCompanion {
+ public:
+  explicit CapCompanion(double farads = 0.0) : farads_(farads) {}
+
+  void stamp(Stamper& s, const StampContext& ctx, NodeId a, NodeId b) const;
+  void commit(const StampContext& ctx, NodeId a, NodeId b);
+
+  double capacitance() const noexcept { return farads_; }
+
+ private:
+  double current_at(const StampContext& ctx, NodeId a, NodeId b) const;
+
+  double farads_;
+  double i_prev_ = 0.0;  // used by the trapezoidal companion
+};
 
 }  // namespace nemtcam::devices

@@ -38,14 +38,43 @@ void Rram::commit(const StampContext& ctx) {
     w_ -= rate * dt / params_.t_write;
   }
   w_ = std::clamp(w_, 0.0, 1.0);
+  moving_ = (v > params_.vth_set && w_ < 1.0) ||
+            (v < -params_.vth_reset && w_ > 0.0);
   if (w_before < 0.9 && w_ >= 0.9) t_set_ = ctx.t();
   if (w_before > 0.1 && w_ <= 0.1) t_reset_ = ctx.t();
 }
 
 double Rram::max_dt_hint() const {
-  // Resolve state transitions; 1/200 of the write time keeps the filament
-  // trajectory smooth without slowing search-scale simulations much.
+  // Resolve state transitions while the filament is actually in motion;
+  // 1/200 of the write time keeps the trajectory smooth. An idle device
+  // leaves the step free — the event function below guarantees the engine
+  // lands on the threshold crossing that starts the motion, so search-scale
+  // transients are no longer capped by t_write.
+  if (!moving_) return std::numeric_limits<double>::infinity();
   return params_.t_write / 200.0;
+}
+
+double Rram::event_function(const StampContext& ctx) const {
+  if (ctx.dc()) return std::numeric_limits<double>::infinity();
+  // Which surface is armed is decided from the step-start voltage and the
+  // committed state (never the iterate), so both ends of a step see the
+  // same surface.
+  const double v_prev = ctx.v_prev(top_) - ctx.v_prev(bottom_);
+  const double v = ctx.v(top_) - ctx.v(bottom_);
+  if (v_prev > params_.vth_set && w_ < 1.0) {
+    // SET in progress: the event is full formation (w reaching 1),
+    // projected with this step's end-point rate.
+    const double rate =
+        std::max(v - params_.vth_set, 0.0) / (params_.v_set - params_.vth_set);
+    return 1.0 - (w_ + rate * ctx.dt() / params_.t_write);
+  }
+  if (v_prev < -params_.vth_reset && w_ > 0.0) {
+    const double rate = std::max(-v - params_.vth_reset, 0.0) /
+                        (params_.v_reset - params_.vth_reset);
+    return w_ - rate * ctx.dt() / params_.t_write;
+  }
+  // Idle: the event is the drive crossing either write threshold.
+  return std::min(params_.vth_set - v, v + params_.vth_reset);
 }
 
 double Rram::power(const StampContext& ctx) const {

@@ -42,6 +42,7 @@ class Rram final : public Device {
   void stamp(Stamper& s, const StampContext& ctx) override;
   void commit(const StampContext& ctx) override;
   double max_dt_hint() const override;
+  double event_function(const StampContext& ctx) const override;
   double power(const StampContext& ctx) const override;
 
   // Filament state: 1 = fully formed (R_ON), 0 = ruptured (R_OFF).
@@ -60,6 +61,7 @@ class Rram final : public Device {
   NodeId top_, bottom_;
   RramParams params_;
   double w_ = 0.0;
+  bool moving_ = false;  // last committed step had the filament in motion
   double t_set_ = -1.0;
   double t_reset_ = -1.0;
 };

@@ -94,6 +94,23 @@ class Device {
     return std::numeric_limits<double>::infinity();
   }
 
+  // Signed distance to the device's nearest discrete state change: positive
+  // before the event, zero/negative once the candidate step would commit it,
+  // +inf when nothing is armed. Under LTE step control the transient engine
+  // evaluates this at the step start (dt = 0, iterate = v_prev) and at the
+  // candidate solution; a positive→non-positive change brackets the event
+  // and the step is bisected to land just past the crossing, so relay
+  // pull-in/pull-out and memory-cell threshold corners are resolved exactly
+  // instead of being discovered by Newton thrashing over a long step.
+  // Implementations must tolerate dt == 0 and must pick which surface they
+  // report from *committed* state and v_prev only, never from the iterate —
+  // otherwise the start and end of a step can disagree about which surface
+  // is armed and the sign test is meaningless.
+  virtual double event_function(const StampContext& ctx) const {
+    (void)ctx;
+    return std::numeric_limits<double>::infinity();
+  }
+
   // Instantaneous dissipated power at the given solution, for breakdowns.
   virtual double power(const StampContext& ctx) const { (void)ctx; return 0.0; }
 

@@ -1,7 +1,9 @@
 #include "spice/Transient.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
 #include "util/Expect.h"
@@ -11,24 +13,185 @@ namespace nemtcam::spice {
 
 namespace {
 
-// Maps a raw unknown index to its sample column: identity when the full
-// vector was recorded, else a lookup in recorded_unknowns.
-std::size_t sample_column(const std::vector<std::size_t>& recorded,
-                          std::size_t unknown) {
-  if (recorded.empty()) return unknown;
-  const auto it = std::find(recorded.begin(), recorded.end(), unknown);
-  NEMTCAM_EXPECT_MSG(it != recorded.end(),
-                     "unknown was not probed during this transient run");
-  return static_cast<std::size_t>(it - recorded.begin());
+double env_double(const char* name, double fallback) {
+  const char* s = std::getenv(name);
+  if (s == nullptr) return fallback;
+  const double v = std::atof(s);
+  return v > 0.0 ? v : fallback;
+}
+
+std::atomic<StepControl> g_step_control{std::getenv("NEMTCAM_FIXED_STEP")
+                                            ? StepControl::FixedGrowth
+                                            : StepControl::Lte};
+std::atomic<double> g_reltol{env_double("NEMTCAM_RELTOL", 3e-3)};
+std::atomic<double> g_abstol_v{env_double("NEMTCAM_ABSTOL", 1e-4)};
+std::atomic<double> g_fixed_dt_scale{env_double("NEMTCAM_DT_SCALE", 1.0)};
+
+// Rolling window of the last (up to) three accepted solutions, used for the
+// polynomial predictor that warm-starts Newton and anchors the Milne LTE
+// estimate. Reset at every discontinuity (breakpoints, located events): the
+// divided differences are meaningless across a corner.
+class StepHistory {
+ public:
+  void reset(double t, const std::vector<double>& v) {
+    count_ = 1;
+    t_[0] = t;
+    v_[0] = v;
+  }
+
+  void push(double t, const std::vector<double>& v) {
+    // Rotate storage so the oldest vector's capacity is reused for the
+    // incoming copy.
+    std::vector<double> recycled = std::move(v_[2]);
+    v_[2] = std::move(v_[1]);
+    v_[1] = std::move(v_[0]);
+    recycled = v;
+    v_[0] = std::move(recycled);
+    t_[2] = t_[1];
+    t_[1] = t_[0];
+    t_[0] = t;
+    if (count_ < 3) ++count_;
+  }
+
+  int points() const noexcept { return count_; }
+  // Last accepted step size (valid when points() >= 2).
+  double h1() const noexcept { return t_[0] - t_[1]; }
+  double h2() const noexcept { return t_[1] - t_[2]; }
+
+  // Extrapolates the Newton-form interpolating polynomial through the
+  // newest min(order, points()-1)+1 stored points to time t_new.
+  void predict(double t_new, int order, std::vector<double>& out) const {
+    NEMTCAM_ENSURE(count_ >= 1);
+    const int ord = std::min(order, count_ - 1);
+    out = v_[0];
+    if (ord < 1) return;
+    const double dh1 = t_[0] - t_[1];
+    const double a = t_new - t_[0];
+    if (ord == 1) {
+      for (std::size_t k = 0; k < out.size(); ++k)
+        out[k] += a / dh1 * (v_[0][k] - v_[1][k]);
+      return;
+    }
+    const double dh2 = t_[1] - t_[2];
+    const double b = (t_new - t_[0]) * (t_new - t_[1]);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      const double d01 = (v_[0][k] - v_[1][k]) / dh1;
+      const double d12 = (v_[1][k] - v_[2][k]) / dh2;
+      const double d012 = (d01 - d12) / (dh1 + dh2);
+      out[k] = v_[0][k] + a * d01 + b * d012;
+    }
+  }
+
+ private:
+  int count_ = 0;
+  double t_[3] = {0.0, 0.0, 0.0};
+  std::vector<double> v_[3];
+};
+
+// Milne principle: predictor and corrector errors are both proportional to
+// the same solution derivative, so the corrector LTE can be read off the
+// predictor–corrector difference. With step h after history steps h1, h2:
+//   BE + linear predictor   (error ∝ x''):
+//     x_corr − x_pred = (h² + h·h1/2)·x'',  lte = (h²/2)·x''
+//       → lte = h/(2h + h1)·|corr − pred|           (1/3 at uniform steps)
+//   trapezoidal + quadratic predictor  (error ∝ x'''):
+//     pred err = h(h+h1)(h+h1+h2)/6·x''',  lte = (h³/12)·x'''
+//       → lte = C_c/(C_p + C_c)·|corr − pred|       (1/13 at uniform steps)
+// A trapezoidal corrector against a degraded (linear) predictor falls back
+// to the first-order factor, which overestimates — conservative right after
+// a restart, exact from the third step on.
+double milne_factor(Integrator integ, int pred_order, double h, double h1,
+                    double h2) {
+  if (integ == Integrator::Trapezoidal && pred_order >= 2) {
+    const double cp = h * (h + h1) * (h + h1 + h2) / 6.0;
+    const double cc = h * h * h / 12.0;
+    return cc / (cp + cc);
+  }
+  return h / (2.0 * h + h1);
+}
+
+// Worst per-unknown ratio of estimated LTE to its tolerance; ≤ 1 accepts.
+double error_ratio(const std::vector<double>& v_new,
+                   const std::vector<double>& v_old,
+                   const std::vector<double>& pred, double milne, int n_node,
+                   const TransientOptions& o) {
+  double worst = 0.0;
+  for (std::size_t k = 0; k < v_new.size(); ++k) {
+    const double abstol =
+        k < static_cast<std::size_t>(n_node) ? o.abstol_v : o.abstol_i;
+    const double tol =
+        o.lte_factor *
+        (abstol + o.reltol * std::max(std::fabs(v_new[k]), std::fabs(v_old[k])));
+    const double err = milne * std::fabs(v_new[k] - pred[k]);
+    worst = std::max(worst, err / tol);
+  }
+  return worst;
+}
+
+// Gustafsson/Söderlind-style PI growth factor from the current and previous
+// error ratios; clamped so one bad estimate cannot collapse or explode dt.
+double pi_growth(double r, double r_prev, int order, double grow_max) {
+  r = std::max(r, 1e-10);
+  r_prev = std::max(r_prev, 1e-10);
+  const double e = 1.0 / (order + 1.0);
+  const double fac = 0.9 * std::pow(r, -0.7 * e) * std::pow(r_prev, 0.3 * e);
+  return std::clamp(fac, 0.2, grow_max);
 }
 
 }  // namespace
 
+StepControl default_step_control() { return g_step_control.load(); }
+void set_default_step_control(StepControl mode) { g_step_control.store(mode); }
+double default_lte_reltol() { return g_reltol.load(); }
+double default_lte_abstol_v() { return g_abstol_v.load(); }
+void set_default_lte_tolerances(double reltol, double abstol_v) {
+  NEMTCAM_EXPECT(reltol > 0.0 && abstol_v > 0.0);
+  g_reltol.store(reltol);
+  g_abstol_v.store(abstol_v);
+}
+double default_fixed_dt_scale() { return g_fixed_dt_scale.load(); }
+void set_default_fixed_dt_scale(double scale) {
+  NEMTCAM_EXPECT(scale > 0.0);
+  g_fixed_dt_scale.store(scale);
+}
+
+TransientOptions step_defaults(double t_end, double dt_max_fixed,
+                               double dt_max_adaptive) {
+  TransientOptions opts;
+  opts.t_end = t_end;
+  opts.dt_init = 1e-13;
+  opts.step_control = default_step_control();
+  if (opts.step_control == StepControl::Lte) {
+    // Trapezoidal doubles the order the tolerance buys; the BE-restart rule
+    // at breakpoints/events keeps the stiff switching corners L-stable.
+    opts.integrator = Integrator::Trapezoidal;
+    opts.dt_max = dt_max_adaptive;
+  } else {
+    opts.dt_max = dt_max_fixed * default_fixed_dt_scale();
+  }
+  return opts;
+}
+
+std::size_t TransientResult::sample_column(std::size_t unknown) const {
+  if (recorded_unknowns.empty()) return unknown;
+  if (column_index_.empty()) {
+    column_index_.reserve(recorded_unknowns.size());
+    for (std::size_t j = 0; j < recorded_unknowns.size(); ++j)
+      column_index_.emplace_back(recorded_unknowns[j], j);
+    std::sort(column_index_.begin(), column_index_.end());
+  }
+  const auto it = std::lower_bound(
+      column_index_.begin(), column_index_.end(),
+      std::pair<std::size_t, std::size_t>{unknown, 0});
+  NEMTCAM_EXPECT_MSG(it != column_index_.end() && it->first == unknown,
+                     "unknown was not probed during this transient run");
+  return it->second;
+}
+
 Trace TransientResult::node_trace(NodeId n) const {
   NEMTCAM_EXPECT(n != kGround);
   NEMTCAM_EXPECT(n - 1 < n_node_unknowns);
-  const std::size_t col =
-      sample_column(recorded_unknowns, static_cast<std::size_t>(n - 1));
+  const std::size_t col = sample_column(static_cast<std::size_t>(n - 1));
   std::vector<double> vals;
   vals.reserve(samples.size());
   for (const auto& s : samples) vals.push_back(s[col]);
@@ -37,8 +200,8 @@ Trace TransientResult::node_trace(NodeId n) const {
 
 Trace TransientResult::branch_trace(BranchId b) const {
   NEMTCAM_EXPECT(b >= 0);
-  const std::size_t col = sample_column(
-      recorded_unknowns, static_cast<std::size_t>(n_node_unknowns + b));
+  const std::size_t col =
+      sample_column(static_cast<std::size_t>(n_node_unknowns + b));
   std::vector<double> vals;
   vals.reserve(samples.size());
   for (const auto& s : samples) vals.push_back(s[col]);
@@ -80,19 +243,29 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
 
   TransientResult result;
   result.n_node_unknowns = circuit.node_unknowns();
+  const int n_node = circuit.node_unknowns();
 
-  // Collect and sort source breakpoints.
+  // Collect and sort source breakpoints. Breakpoints closer together than
+  // dt_min are merged into the later one — landing on both would schedule a
+  // sliver step below dt_min.
   std::set<double> bp_set;
   for (const auto& dev : circuit.devices())
     for (double t : dev->breakpoints(opts.t_end))
       if (t > 0.0 && t < opts.t_end) bp_set.insert(t);
   bp_set.insert(opts.t_end);
-  std::vector<double> breakpoints(bp_set.begin(), bp_set.end());
+  std::vector<double> breakpoints;
+  breakpoints.reserve(bp_set.size());
+  for (auto it = bp_set.begin(); it != bp_set.end(); ++it) {
+    const auto next = std::next(it);
+    if (next != bp_set.end() && *next - *it < opts.dt_min) continue;
+    breakpoints.push_back(*it);
+  }
 
   std::vector<double> v_prev = std::move(v0);
   std::vector<double> v = v_prev;
   double t = 0.0;
   double dt = opts.dt_init;
+  double dt_last = opts.dt_init;  // last accepted step (restart sizing)
 
   // Per-device previous power sample for trapezoidal energy integration.
   std::vector<Device*> devs;
@@ -103,8 +276,7 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
   std::vector<double> acc_delivered(devs.size(), 0.0);
   std::vector<double> acc_dissipated(devs.size(), 0.0);
   {
-    StampContext ctx0(0.0, 0.0, /*is_dc=*/false, circuit.node_unknowns(),
-                      &v_prev, &v_prev);
+    StampContext ctx0(0.0, 0.0, /*is_dc=*/false, n_node, &v_prev, &v_prev);
     for (std::size_t i = 0; i < devs.size(); ++i) {
       prev_delivered[i] = devs[i]->delivered_power(ctx0);
       prev_dissipated[i] = devs[i]->power(ctx0);
@@ -138,17 +310,63 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
 
   if (opts.record) record_sample(0.0, v_prev);
 
+  const bool lte = opts.step_control == StepControl::Lte;
+  const bool use_events = lte && opts.locate_events;
+  StepHistory hist;
+  hist.reset(0.0, v_prev);
+  std::vector<double> v_pred;           // predictor evaluation for this step
+  std::vector<double> f_start, f_end;   // event function values
+  if (use_events) {
+    f_start.resize(devs.size());
+    f_end.resize(devs.size());
+  }
+  double r_prev = 1.0;                  // previous step's LTE ratio (PI memory)
+  bool pending_restart = false;         // set when an event was landed
+
   std::size_t next_bp = 0;
   const double t_eps = 1e-18;
 
   while (t < opts.t_end - t_eps) {
-    // Respect device hints and land exactly on the next breakpoint.
+    // Respect device hints.
     double dt_cap = opts.dt_max;
     for (const auto& dev : circuit.devices())
       dt_cap = std::min(dt_cap, dev->max_dt_hint());
     dt = std::min(dt, dt_cap);
     while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + t_eps)
       ++next_bp;
+
+    // The very first step, any step right after a source breakpoint, and
+    // any step right after a located event runs Backward Euler even in
+    // trapezoidal mode: the trapezoidal companion needs a consistent
+    // previous current, which a discontinuity invalidates — the classic
+    // SPICE BE-restart rule. Under LTE control the predictor history is
+    // reset too (divided differences across a corner are meaningless) and
+    // dt restarts from dt_init, regrowing at dt_grow_max per step.
+    const bool at_discontinuity =
+        result.steps_taken == 0 || pending_restart ||
+        (next_bp > 0 && next_bp <= breakpoints.size() &&
+         std::fabs(t - breakpoints[next_bp - 1]) <= t_eps);
+    pending_restart = false;
+    if (lte && at_discontinuity) {
+      hist.reset(t, v_prev);
+      r_prev = 1.0;
+      // Resume at a tenth of the last accepted step (the SPICE2 breakpoint
+      // rule) rather than all the way down at dt_init: the solution scale
+      // just past a source corner is set by the surrounding waveform, and
+      // regrowing from dt_init costs ~log10(dt/dt_init) extra steps at
+      // every corner. The very first step has no scale yet and starts at
+      // dt_init; a wrong resume guess is caught by the next step's LTE
+      // rejection.
+      const double resume =
+          result.steps_taken == 0
+              ? opts.dt_init
+              : std::max(opts.dt_init, 0.1 * dt_last);
+      dt = std::min(dt, std::max(resume, opts.dt_min));
+    }
+    const Integrator step_integrator =
+        at_discontinuity ? Integrator::BackwardEuler : opts.integrator;
+
+    // Land exactly on the next breakpoint.
     if (next_bp < breakpoints.size()) {
       const double to_bp = breakpoints[next_bp] - t;
       if (dt >= to_bp - t_eps) dt = to_bp;
@@ -156,46 +374,147 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
       else if (to_bp - dt < opts.dt_min) dt = to_bp;
     }
     dt = std::min(dt, opts.t_end - t);
+    // End-of-run sliver: when the remainder after this step would be below
+    // dt_min (and no interior breakpoint sits in between), stretch the step
+    // to t_end — the same merge rule breakpoint landings use.
+    if (opts.t_end - t - dt < opts.dt_min &&
+        (next_bp >= breakpoints.size() ||
+         breakpoints[next_bp] >= opts.t_end - t_eps))
+      dt = opts.t_end - t;
 
-    // The very first step (and any step right after a source breakpoint)
-    // runs Backward Euler even in trapezoidal mode: the trapezoidal
-    // companion needs a consistent previous current, which a discontinuity
-    // invalidates — the classic SPICE BE-restart rule.
-    const bool at_discontinuity =
-        result.steps_taken == 0 ||
-        (next_bp > 0 && next_bp <= breakpoints.size() &&
-         std::fabs(t - breakpoints[next_bp - 1]) <= t_eps);
-    const Integrator step_integrator =
-        at_discontinuity ? Integrator::BackwardEuler : opts.integrator;
+    // Event functions at the step start: committed state, dt → 0.
+    if (use_events) {
+      const StampContext ctx0(t, 0.0, /*is_dc=*/false, n_node, &v_prev,
+                              &v_prev, step_integrator);
+      for (std::size_t i = 0; i < devs.size(); ++i)
+        f_start[i] = devs[i]->event_function(ctx0);
+    }
 
-    // Attempt the step, halving on Newton failure.
+    // Attempt the step: halve dt on Newton failure, shrink per the error
+    // estimate on LTE rejection. The predictor warm-starts Newton; a step
+    // that fails from the extrapolated guess is retried once from v_prev at
+    // the same dt before dt is cut.
+    const int corr_order =
+        step_integrator == Integrator::Trapezoidal ? 2 : 1;
     bool accepted = false;
+    bool predictor_guess_failed = false;
+    bool have_estimate = false;
+    double r = 1.0;
     while (!accepted) {
-      v = v_prev;  // initial guess: previous solution
+      const bool use_pred =
+          lte && opts.warm_start && hist.points() >= 2 && !predictor_guess_failed;
+      if (lte && hist.points() >= 2) {
+        hist.predict(t + dt, corr_order, v_pred);
+      }
+      v = use_pred ? v_pred : v_prev;
       const NewtonResult nr = solve_newton(circuit, t + dt, dt, /*is_dc=*/false,
                                            v, v_prev, opts.newton,
                                            step_integrator);
       result.newton_iterations += static_cast<std::size_t>(nr.iterations);
-      if (nr.converged) {
-        accepted = true;
-      } else {
+      if (!nr.converged) {
+        if (use_pred) {
+          // The extrapolation can overshoot a stiff corner; v_prev is the
+          // robust guess. Same dt, one retry.
+          predictor_guess_failed = true;
+          continue;
+        }
         dt *= 0.25;
         if (dt < opts.dt_min) {
           result.failure = "Newton failed to converge at t=" +
                            std::to_string(t) + " with dt at dt_min";
           return result;
         }
+        continue;
+      }
+      // LTE accept/reject. The first step after a restart has no history
+      // (points() == 1) and is accepted blind — which is why restarts also
+      // reset dt to dt_init.
+      if (lte && hist.points() >= 2) {
+        const double milne = milne_factor(step_integrator,
+                                          std::min(corr_order, hist.points() - 1),
+                                          dt, hist.h1(), hist.h2());
+        r = error_ratio(v, v_prev, v_pred, milne, n_node, opts);
+        have_estimate = true;
+        if (r > 1.0 && dt > opts.dt_min * (1.0 + 1e-12)) {
+          ++result.steps_rejected;
+          const double shrink = std::clamp(
+              0.9 * std::pow(std::max(r, 1e-10), -1.0 / (corr_order + 1)),
+              0.1, 0.9);
+          dt = std::max(dt * shrink, opts.dt_min);
+          predictor_guess_failed = false;
+          continue;
+        }
+      }
+      accepted = true;
+    }
+
+    // Event location: a device whose event function went positive →
+    // non-positive across the step has a state change inside it. Bisect dt
+    // until the bracket is tighter than event_time_tol and land on the
+    // upper end — just past the crossing, so the commit below latches the
+    // new state — then restart like a breakpoint.
+    if (use_events) {
+      const auto eval_events = [&](double step, const std::vector<double>& sol) {
+        const StampContext ec(t + step, step, /*is_dc=*/false, n_node, &sol,
+                              &v_prev, step_integrator);
+        for (std::size_t i = 0; i < devs.size(); ++i)
+          f_end[i] = devs[i]->event_function(ec);
+      };
+      const auto crossed = [&]() {
+        for (std::size_t i = 0; i < devs.size(); ++i)
+          if (std::isfinite(f_start[i]) && f_start[i] > 0.0 &&
+              f_end[i] <= 0.0)
+            return true;
+        return false;
+      };
+      eval_events(dt, v);
+      if (crossed()) {
+        double lo = 0.0;
+        double hi = dt;
+        std::vector<double> v_hi = v;  // converged solution at t + hi
+        while (hi - lo > opts.event_time_tol) {
+          const double mid = 0.5 * (lo + hi);
+          if (mid <= opts.dt_min) break;
+          if (lte && opts.warm_start && hist.points() >= 2)
+            hist.predict(t + mid, corr_order, v);
+          else
+            v = v_prev;
+          NewtonResult nr = solve_newton(circuit, t + mid, mid, /*is_dc=*/false,
+                                         v, v_prev, opts.newton,
+                                         step_integrator);
+          result.newton_iterations += static_cast<std::size_t>(nr.iterations);
+          if (!nr.converged) {
+            v = v_prev;
+            nr = solve_newton(circuit, t + mid, mid, /*is_dc=*/false, v,
+                              v_prev, opts.newton, step_integrator);
+            result.newton_iterations += static_cast<std::size_t>(nr.iterations);
+          }
+          if (!nr.converged) break;  // keep the current (converged) bracket
+          eval_events(mid, v);
+          if (crossed()) {
+            hi = mid;
+            v_hi = v;
+          } else {
+            lo = mid;
+          }
+        }
+        dt = hi;
+        v = v_hi;
+        have_estimate = false;  // the landed step is shorter than judged
+        ++result.events_located;
+        pending_restart = true;
       }
     }
 
     t += dt;
     ++result.steps_taken;
+    dt_last = dt;
 
     // Commit device state and integrate energies at the accepted point
     // (same integrator the step was solved with, so companion-current
     // state stays consistent).
-    StampContext ctx(t, dt, /*is_dc=*/false, circuit.node_unknowns(), &v,
-                     &v_prev, step_integrator);
+    StampContext ctx(t, dt, /*is_dc=*/false, n_node, &v, &v_prev,
+                     step_integrator);
     for (Device* dev : devs) dev->commit(ctx);
     for (std::size_t i = 0; i < devs.size(); ++i) {
       const double pd = devs[i]->delivered_power(ctx);
@@ -207,8 +526,18 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
     }
 
     if (opts.record) record_sample(t, v);
+    if (lte) hist.push(t, v);
     v_prev = v;
-    dt = std::min(dt * opts.dt_grow, opts.dt_max);
+
+    if (lte) {
+      const double fac = have_estimate
+                             ? pi_growth(r, r_prev, corr_order, opts.dt_grow_max)
+                             : opts.dt_grow_max;
+      dt = std::min(dt * fac, opts.dt_max);
+      if (have_estimate) r_prev = r;
+    } else {
+      dt = std::min(dt * opts.dt_grow, opts.dt_max);
+    }
   }
 
   for (std::size_t i = 0; i < devs.size(); ++i) {
@@ -220,6 +549,8 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
 
   result.finished = true;
   log::info("transient done: steps=", result.steps_taken,
+            " rejected=", result.steps_rejected,
+            " events=", result.events_located,
             " newton_iters=", result.newton_iterations,
             " unknowns=", circuit.unknown_count());
   return result;

@@ -1,5 +1,6 @@
-// Transient analysis: Backward-Euler companion integration with adaptive
-// stepping, Newton per step, breakpoint landing, and per-source energy
+// Transient analysis: companion integration (Backward Euler / trapezoidal)
+// with truncation-error-controlled adaptive stepping, Newton per step,
+// breakpoint landing, device-event bisection, and per-source energy
 // accounting.
 //
 // The engine starts from the circuit's initial conditions (SPICE "UIC"
@@ -9,6 +10,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spice/Circuit.h"
@@ -17,14 +19,68 @@
 
 namespace nemtcam::spice {
 
+// How the engine sizes dt between breakpoints.
+//  - FixedGrowth: the legacy policy — grow by dt_grow after every accepted
+//    step up to dt_max, shrink only on Newton failure. Accuracy is whatever
+//    dt_max buys; every fixture had to pin dt_max at 20–50 ps.
+//  - Lte: estimate the local truncation error each step from a divided-
+//    difference predictor (Milne-style BE/trap estimate), accept/reject
+//    against reltol/abstol, and drive dt with a PI controller. dt_max can
+//    be ns-scale; the tolerances are the accuracy knob.
+enum class StepControl { FixedGrowth, Lte };
+
+// Process-wide defaults consumed by TransientOptions (same pattern as
+// Newton's default_use_assembly_cache). The step-control default starts at
+// Lte (set NEMTCAM_FIXED_STEP in the environment to start FixedGrowth);
+// the setters exist for A/B comparisons (bench_solver) and CLI overrides
+// (nemtcam_sim --reltol/--abstol/--fixed-step). Note the struct-level
+// default of TransientOptions::step_control stays FixedGrowth so bare
+// TransientOptions{} users (unit tests exercising exact fixed grids) are
+// unaffected; the TCAM fixtures opt in via step_defaults() below.
+StepControl default_step_control();
+void set_default_step_control(StepControl mode);
+double default_lte_reltol();
+double default_lte_abstol_v();
+void set_default_lte_tolerances(double reltol, double abstol_v);
+// Multiplier applied to every fixture's historical dt_max on the fixed
+// path (step_defaults, FixedGrowth mode only). 1.0 reproduces the legacy
+// grids; smaller values refine them uniformly — how bench_solver builds
+// the dt_max-refined fixed reference the adaptive path is judged against.
+// Env override: NEMTCAM_DT_SCALE.
+double default_fixed_dt_scale();
+void set_default_fixed_dt_scale(double scale);
+
 struct TransientOptions {
   double t_end = 0.0;           // required
   double dt_init = 1e-12;
   double dt_min = 1e-16;
   double dt_max = 1e-10;
-  double dt_grow = 1.4;         // growth factor after an easy step
+  double dt_grow = 1.4;         // FixedGrowth: growth factor after an easy step
   NewtonOptions newton;
   Integrator integrator = Integrator::BackwardEuler;
+
+  // --- LTE step control (used when step_control == StepControl::Lte) ---
+  StepControl step_control = StepControl::FixedGrowth;
+  // Per-unknown error tolerance: |lte_k| ≤ lte_factor·(abstol + reltol·|v_k|)
+  // with abstol_v for node voltages and abstol_i for branch currents.
+  // lte_factor is SPICE's TRTOL: the Milne estimate is conservative for
+  // smooth solutions, so the raw bound is relaxed by this factor.
+  double reltol = default_lte_reltol();
+  double abstol_v = default_lte_abstol_v();   // volts
+  double abstol_i = 1e-9;                     // amps
+  double lte_factor = 3.5;
+  // Largest per-step growth the PI controller may apply (the predictor has
+  // no information beyond 3 points; regrowth after a breakpoint restart is
+  // geometric at this rate).
+  double dt_grow_max = 10.0;
+  // Use the divided-difference predictor as Newton's initial guess.
+  bool warm_start = true;
+  // Watch Device::event_function for sign changes and bisect dt to land
+  // steps just past relay pull-in/pull-out, contact arrival, and memory
+  // write-threshold crossings.
+  bool locate_events = true;
+  double event_time_tol = 1e-12;
+
   bool record = true;           // keep full waveforms (needed for measures)
   // Selective recording: when either probe list is non-empty (and record
   // is true), only the listed node voltages / branch currents are stored
@@ -35,12 +91,23 @@ struct TransientOptions {
   std::vector<BranchId> probe_branches;
 };
 
+// Canonical options for the TCAM fixtures: under the process default the
+// engine runs adaptive — LTE step control with trapezoidal integration and
+// a coarse dt cap, where the tolerances set the accuracy; when the fixed
+// path is selected (set_default_step_control(StepControl::FixedGrowth) or
+// NEMTCAM_FIXED_STEP) it reproduces the legacy fixed-growth Backward Euler
+// configuration with the historical per-fixture dt_max.
+TransientOptions step_defaults(double t_end, double dt_max_fixed,
+                               double dt_max_adaptive = 1e-9);
+
 class TransientResult {
  public:
   bool finished = false;        // reached t_end
   std::string failure;          // set when !finished
   std::size_t steps_taken = 0;
   std::size_t newton_iterations = 0;
+  std::size_t steps_rejected = 0;   // LTE rejections (Lte step control only)
+  std::size_t events_located = 0;   // device events landed by bisection
 
   // Waveform of a node voltage.
   Trace node_trace(NodeId n) const;
@@ -68,6 +135,16 @@ class TransientResult {
   int n_node_unknowns = 0;
   std::map<std::string, double> source_energy_;
   std::map<std::string, double> dissipation_;
+
+  // Maps a raw unknown index to its sample column: identity when the full
+  // vector was recorded, else a binary search in an index built lazily on
+  // first use (once per result, not once per trace call). Throws when the
+  // unknown was not probed.
+  std::size_t sample_column(std::size_t unknown) const;
+
+ private:
+  // Lazily built sorted (unknown, column) pairs for probe recording.
+  mutable std::vector<std::pair<std::size_t, std::size_t>> column_index_;
 };
 
 TransientResult run_transient(Circuit& circuit, const TransientOptions& opts);

@@ -123,10 +123,7 @@ WriteMetrics Dtcam5TRow::simulate_write(const TernaryWord& old_word,
     monitored.push_back({stg2, new_lv.v2 > 0.0});
   }
 
-  TransientOptions opts;
-  opts.t_end = t_end;
-  opts.dt_init = 1e-13;
-  opts.dt_max = 20e-12;
+  const TransientOptions opts = spice::step_defaults(t_end, 20e-12);
   const auto result = run_transient(ckt, opts);
 
   WriteMetrics m;
@@ -167,10 +164,7 @@ double Dtcam5TRow::simulate_retention(double v_start) const {
   ckt.add<Mosfet>("Mc", ckt.ground(), stg, ckt.ground(), p);
   ckt.set_ic(stg, v_start);
 
-  TransientOptions opts;
-  opts.t_end = 500e-6;
-  opts.dt_init = 1e-12;
-  opts.dt_max = 100e-9;
+  const TransientOptions opts = spice::step_defaults(500e-6, 100e-9, 1e-6);
   const auto result = run_transient(ckt, opts);
   if (!result.finished) return 0.0;
   // Data is lost once the stored level can no longer switch the compare

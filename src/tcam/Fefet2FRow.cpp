@@ -85,10 +85,7 @@ WriteMetrics Fefet2FRow::simulate_write(const TernaryWord& old_word,
     f2s[static_cast<std::size_t>(i)]->set_low_vth(old_st.f2_low_vth);
   }
 
-  TransientOptions opts;
-  opts.t_end = t_end;
-  opts.dt_init = 1e-13;
-  opts.dt_max = 50e-12;
+  const TransientOptions opts = spice::step_defaults(t_end, 50e-12);
   const auto result = run_transient(ckt, opts);
 
   WriteMetrics m;

@@ -88,10 +88,7 @@ SearchFixture::SearchFixture(const Calibration& cal, const CellGeometry& geo,
 }
 
 spice::TransientResult SearchFixture::run(double dt_max) {
-  spice::TransientOptions opts;
-  opts.t_end = t_end_;
-  opts.dt_init = 1e-13;
-  opts.dt_max = dt_max;
+  spice::TransientOptions opts = spice::step_defaults(t_end_, dt_max);
   // metrics() only reads the match line, so record just that node instead
   // of the full unknown vector (O(width) memory per step otherwise).
   opts.probe_nodes = {ml_};
@@ -115,6 +112,9 @@ SearchMetrics SearchFixture::metrics(const spice::TransientResult& result,
   }
   m.ml_min = ml_min;
   m.energy = result.total_source_energy();
+  m.steps = result.steps_taken;
+  m.steps_rejected = result.steps_rejected;
+  m.newton_iters = result.newton_iterations;
 
   const double ml_at_strobe = ml_trace.at(t_edge_ + strobe_delay);
   m.matched = ml_at_strobe > cal_.ml_sense_level;

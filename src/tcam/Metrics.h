@@ -1,6 +1,7 @@
 // Result records for circuit-level TCAM transactions.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 namespace nemtcam::tcam {
@@ -19,6 +20,10 @@ struct SearchMetrics {
   double energy = 0.0;        // net energy delivered by all sources (J)
   double ml_final = 0.0;      // ML voltage at the end of the window (V)
   double ml_min = 0.0;        // minimum ML voltage in the window (V)
+  // Solver-effort telemetry (for fixed-vs-adaptive step-control A/B).
+  std::size_t steps = 0;           // accepted transient steps
+  std::size_t steps_rejected = 0;  // LTE rejections
+  std::size_t newton_iters = 0;    // total Newton iterations
   std::string note;
 
   double edp() const { return energy * latency; }

@@ -117,10 +117,7 @@ WriteMetrics Mram4T2MRow::simulate_write(const TernaryWord& old_word,
                     sense_fet(2.0));
   }
 
-  TransientOptions opts;
-  opts.t_end = t_end;
-  opts.dt_init = 1e-13;
-  opts.dt_max = 50e-12;
+  const TransientOptions opts = spice::step_defaults(t_end, 50e-12);
   const auto result = run_transient(ckt, opts);
 
   WriteMetrics m;

@@ -141,10 +141,7 @@ WriteMetrics Nem3T2NRow::simulate_write(const TernaryWord& old_word,
     if (v2 > 0.0) ckt.set_ic(stg2, v2);
   }
 
-  TransientOptions opts;
-  opts.t_end = t_end;
-  opts.dt_init = 1e-13;
-  opts.dt_max = 20e-12;
+  const TransientOptions opts = spice::step_defaults(t_end, 20e-12);
   const auto result = run_transient(ckt, opts);
 
   WriteMetrics m;
@@ -191,10 +188,10 @@ double Nem3T2NRow::simulate_retention(double v_start) const {
   relay.set_state(true, v_start);
   ckt.set_ic(stg, v_start);
 
-  TransientOptions opts;
-  opts.t_end = 500e-6;
-  opts.dt_init = 1e-12;
-  opts.dt_max = 100e-9;
+  // Retention runs µs-scale: under LTE control the leakage decay sustains
+  // µs steps and the relay release lands via event bisection (the legacy
+  // fixed path quantized it to the 100 ns grid).
+  TransientOptions opts = spice::step_defaults(500e-6, 100e-9, 1e-6);
   opts.record = false;
   const auto result = run_transient(ckt, opts);
   if (!result.finished) return 0.0;
@@ -273,10 +270,7 @@ RefreshMetrics Nem3T2NRow::refresh_at(double v_refresh, double v_pre_one) const 
       stg_nodes.push_back(stg2);
     }
 
-    TransientOptions opts;
-    opts.t_end = t_end;
-    opts.dt_init = 1e-13;
-    opts.dt_max = 20e-12;
+    const TransientOptions opts = spice::step_defaults(t_end, 20e-12);
     const auto result = run_transient(ckt, opts);
 
     OsrRun out;

@@ -161,10 +161,7 @@ WriteMetrics Rram2T2RRow::simulate_write(const TernaryWord& old_word,
     rbs[static_cast<std::size_t>(i)]->set_state(old_st.b_lrs ? 1.0 : 0.0);
   }
 
-  TransientOptions opts;
-  opts.t_end = t_end;
-  opts.dt_init = 1e-13;
-  opts.dt_max = 50e-12;
+  const TransientOptions opts = spice::step_defaults(t_end, 50e-12);
   const auto result = run_transient(ckt, opts);
 
   WriteMetrics m;

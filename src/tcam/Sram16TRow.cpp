@@ -163,10 +163,7 @@ WriteMetrics Sram16TRow::simulate_write(const TernaryWord& old_word,
     monitored.push_back({d2b, new_bits.d2 ? 0.0 : c.vdd});
   }
 
-  TransientOptions opts;
-  opts.t_end = t_end;
-  opts.dt_init = 1e-13;
-  opts.dt_max = 20e-12;
+  const TransientOptions opts = spice::step_defaults(t_end, 20e-12);
   const auto result = run_transient(ckt, opts);
 
   WriteMetrics m;

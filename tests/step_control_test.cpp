@@ -1,0 +1,183 @@
+// LTE step-control tests: adaptive vs refined fixed-step accuracy, the
+// rejection path, relay event bisection, end-of-run sliver handling, and
+// probe-recording column lookup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "devices/NemRelay.h"
+#include "devices/Passive.h"
+#include "devices/Sources.h"
+#include "spice/Circuit.h"
+#include "spice/Transient.h"
+#include "spice/Waveform.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::spice;
+using namespace nemtcam::devices;
+
+// Ramp-driven RC: vin --R-- n --C-- gnd, 0→1 V over 1 ns then hold.
+// τ = 1 ns, so the 10 ns window covers both the driven edge and the tail.
+NodeId build_ramp_rc(Circuit& c) {
+  const NodeId vin = c.node("vin");
+  const NodeId n = c.node("out");
+  c.add<VSource>("Vin", vin, c.ground(),
+                 std::make_unique<PwlWave>(
+                     std::vector<std::pair<double, double>>{{0.0, 0.0},
+                                                            {1e-9, 1.0}}));
+  c.add<Resistor>("R", vin, n, 1e3);
+  c.add<Capacitor>("C", n, c.ground(), 1e-12);
+  return n;
+}
+
+TransientOptions adaptive_opts(double t_end, double dt_max) {
+  TransientOptions o;
+  o.t_end = t_end;
+  o.dt_init = 1e-13;
+  o.dt_max = dt_max;
+  o.step_control = StepControl::Lte;
+  o.integrator = Integrator::Trapezoidal;
+  return o;
+}
+
+TransientOptions fixed_opts(double t_end, double dt) {
+  TransientOptions o;
+  o.t_end = t_end;
+  o.dt_init = dt;
+  o.dt_max = dt;
+  o.dt_grow = 1.0;
+  return o;
+}
+
+TEST(StepControl, AdaptiveMatchesRefinedFixedReferenceOnRc) {
+  const double t_end = 10e-9;
+
+  Circuit ref_c;
+  const NodeId ref_n = build_ramp_rc(ref_c);
+  const auto ref = run_transient(ref_c, fixed_opts(t_end, 2e-12));
+  ASSERT_TRUE(ref.finished);
+
+  Circuit ad_c;
+  const NodeId ad_n = build_ramp_rc(ad_c);
+  const auto ad = run_transient(ad_c, adaptive_opts(t_end, 1e-9));
+  ASSERT_TRUE(ad.finished);
+
+  // Same waveform within a few mV everywhere...
+  const Trace vref = ref.node_trace(ref_n);
+  const Trace vad = ad.node_trace(ad_n);
+  double worst = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double t = t_end * k / 100.0;
+    worst = std::max(worst, std::fabs(vad.at(t) - vref.at(t)));
+  }
+  EXPECT_LT(worst, 5e-3);
+
+  // ...the same delivered energy within 1%...
+  const double e_ref = ref.total_source_energy();
+  const double e_ad = ad.total_source_energy();
+  EXPECT_GT(e_ref, 0.0);
+  EXPECT_LT(std::fabs(e_ad - e_ref) / e_ref, 0.01);
+
+  // ...at better than 5x fewer accepted steps.
+  EXPECT_LT(ad.steps_taken * 5, ref.steps_taken);
+}
+
+TEST(StepControl, RejectionPathShrinksOversizedSteps) {
+  Circuit c;
+  const NodeId n = build_ramp_rc(c);
+  (void)n;
+  // Start at a step the tolerance cannot possibly accept mid-ramp; the
+  // controller must reject its way down and still finish.
+  TransientOptions o = adaptive_opts(10e-9, 5e-9);
+  o.dt_init = 1e-9;
+  const auto res = run_transient(c, o);
+  ASSERT_TRUE(res.finished);
+  EXPECT_GT(res.steps_rejected, 0u);
+}
+
+TEST(StepControl, EventBisectionLocatesRelayPullInAndContact) {
+  // Ideal ramp on the relay gate: 0→1.06 V over 2 ns crosses
+  // V_PI = 0.53 V at exactly t_x = 1 ns; the beam then traverses the gap
+  // in τ_mech, so contact closes at t_x + τ_mech.
+  Circuit c;
+  const NodeId g = c.node("gate");
+  const NodeId d = c.node("drain");
+  c.add<VSource>("Vg", g, c.ground(),
+                 std::make_unique<PwlWave>(
+                     std::vector<std::pair<double, double>>{{0.0, 0.0},
+                                                            {2e-9, 1.06}}));
+  c.add<VSource>("Vd", d, c.ground(), 1.0, /*series_ohms=*/10e3);
+  auto& relay = c.add<NemRelay>("N", d, g, c.ground(), c.ground());
+  const double t_x = 1e-9;
+  const double tau = relay.params().tau_mech;
+
+  TransientOptions o = adaptive_opts(t_x + tau + 1e-9, 0.5e-9);
+  const auto res = run_transient(c, o);
+  ASSERT_TRUE(res.finished);
+
+  // Pull-in start and contact arrival were both located.
+  EXPECT_GE(res.events_located, 2u);
+  EXPECT_TRUE(relay.contact());
+
+  // A step landed just past the pull-in crossing (bisection tolerance plus
+  // the Newton bracket granularity).
+  double nearest = 1.0;
+  for (double t : res.times) nearest = std::min(nearest, std::fabs(t - t_x));
+  EXPECT_LT(nearest, 5e-12);
+
+  // Contact time telemetry agrees with the analytic t_x + τ_mech.
+  EXPECT_NEAR(relay.t_contact_closed(), t_x + tau, 1e-11);
+
+  // The whole run needed only a modest step count despite the ps-accurate
+  // switch location (the fixed 20 ps grid would take ~200 steps).
+  EXPECT_LT(res.steps_taken, 120u);
+}
+
+TEST(StepControl, EndOfRunSliverIsMergedIntoFinalStep) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId n = c.node("out");
+  const double t_end = 1e-9;
+  // A source corner a quarter of dt_min before t_end: landing on it would
+  // schedule a sub-dt_min sliver, so it must merge into the final step.
+  c.add<VSource>("Vin", vin, c.ground(),
+                 std::make_unique<PwlWave>(std::vector<std::pair<double, double>>{
+                     {0.0, 0.0}, {t_end - 2.5e-13, 1.0}, {t_end, 1.0}}));
+  c.add<Resistor>("R", vin, n, 1e3);
+  c.add<Capacitor>("C", n, c.ground(), 1e-13);
+
+  TransientOptions o = adaptive_opts(t_end, 0.2e-9);
+  o.dt_init = 1e-12;
+  o.dt_min = 1e-12;
+  const auto res = run_transient(c, o);
+  ASSERT_TRUE(res.finished);
+  ASSERT_GE(res.times.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.times.back(), t_end);
+  for (std::size_t i = 1; i < res.times.size(); ++i)
+    EXPECT_GE(res.times[i] - res.times[i - 1], o.dt_min * (1.0 - 1e-6));
+}
+
+TEST(StepControl, ProbeRecordingResolvesOnlyProbedColumns) {
+  Circuit c;
+  const NodeId vin = c.node("vin");
+  const NodeId n = c.node("out");
+  c.add<VSource>("Vin", vin, c.ground(), 1.0);
+  c.add<Resistor>("R", vin, n, 1e3);
+  c.add<Capacitor>("C", n, c.ground(), 1e-12);
+
+  TransientOptions o = adaptive_opts(5e-9, 1e-9);
+  o.probe_nodes = {n};
+  const auto res = run_transient(c, o);
+  ASSERT_TRUE(res.finished);
+
+  const Trace v = res.node_trace(n);
+  EXPECT_NEAR(v.at(5e-9), 1.0, 0.01);          // fully charged
+  EXPECT_THROW(res.node_trace(vin), std::logic_error);  // not probed
+}
+
+}  // namespace

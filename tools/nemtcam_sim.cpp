@@ -1,6 +1,7 @@
 // nemtcam_sim — command-line circuit simulator over the nemtcam engine.
 //
 //   nemtcam_sim deck.sp [deck2.sp ...] [--points N] [--threads N]
+//               [--reltol X] [--abstol X] [--fixed-step]
 //
 // Parses SPICE-style netlists (see spice/Netlist.h for the supported
 // subset), runs the requested analysis (.op or .tran), and prints the
@@ -8,6 +9,12 @@
 // plus the per-source delivered-energy ledger. Multiple decks are
 // simulated concurrently (--threads, default NEMTCAM_THREADS or the core
 // count); reports still print in argument order.
+//
+// Transients run under LTE-controlled adaptive stepping by default; the
+// deck's .tran dt_max caps the step. --reltol/--abstol set the accuracy
+// target, --fixed-step reverts to the legacy fixed-growth Backward Euler
+// grid (where dt_max alone sets the accuracy).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -29,7 +36,8 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: nemtcam_sim <deck.sp> [more decks...]"
-               " [--points N] [--threads N]\n");
+               " [--points N] [--threads N]"
+               " [--reltol X] [--abstol X] [--fixed-step]\n");
   return 2;
 }
 
@@ -92,11 +100,14 @@ DeckReport simulate_deck(const std::string& path, int points) {
     return rep;
   }
 
-  // Transient.
-  TransientOptions opts;
-  opts.t_end = deck.analysis.tran_t_end;
-  opts.dt_max = deck.analysis.tran_dt_max;
-  opts.dt_init = opts.dt_max / 100.0;
+  // Transient. The deck's dt_max sets the fixed grid; the adaptive cap may
+  // exceed it (tolerances control accuracy there) but stays fine enough
+  // that the printed sample table still resolves the waveform.
+  const double t_end = deck.analysis.tran_t_end;
+  const double dt_max = deck.analysis.tran_dt_max;
+  TransientOptions opts =
+      step_defaults(t_end, dt_max, std::max(dt_max, t_end / 50.0));
+  opts.dt_init = dt_max / 100.0;
   const auto res = run_transient(ckt, opts);
   if (!res.finished) {
     rep.text = "nemtcam_sim: transient failed: " + res.failure + "\n";
@@ -144,6 +155,16 @@ int main(int argc, char** argv) {
       const int n = std::atoi(argv[++i]);
       if (n < 1) return usage();
       threads = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--reltol") == 0 && i + 1 < argc) {
+      const double x = std::atof(argv[++i]);
+      if (x <= 0.0) return usage();
+      set_default_lte_tolerances(x, default_lte_abstol_v());
+    } else if (std::strcmp(argv[i], "--abstol") == 0 && i + 1 < argc) {
+      const double x = std::atof(argv[++i]);
+      if (x <= 0.0) return usage();
+      set_default_lte_tolerances(default_lte_reltol(), x);
+    } else if (std::strcmp(argv[i], "--fixed-step") == 0) {
+      set_default_step_control(StepControl::FixedGrowth);
     } else if (argv[i][0] != '-') {
       paths.emplace_back(argv[i]);
     } else {
