@@ -79,6 +79,18 @@ double EnduranceTracker::worst_wear_fraction() const {
   return static_cast<double>(worst_cell_cycles()) / spec_.rated_cycles;
 }
 
+std::uint64_t EnduranceTracker::row_worst_cycles(int row) const {
+  NEMTCAM_EXPECT(row >= 0 && row < rows_);
+  const auto begin =
+      cell_cycles_.begin() +
+      static_cast<std::ptrdiff_t>(row) * static_cast<std::ptrdiff_t>(width_);
+  return *std::max_element(begin, begin + width_);
+}
+
+double EnduranceTracker::row_wear_fraction(int row) const {
+  return static_cast<double>(row_worst_cycles(row)) / spec_.rated_cycles;
+}
+
 double EnduranceTracker::lifetime_at_write_rate(double writes_per_second) const {
   NEMTCAM_EXPECT(writes_per_second > 0.0);
   // Uniform spread over rows; worst case every bit flips on every write.

@@ -1,7 +1,9 @@
 #include "arch/LpmTable.h"
 
 #include <algorithm>
+#include <cctype>
 #include <sstream>
+#include <stdexcept>
 
 #include "util/Expect.h"
 
@@ -11,20 +13,43 @@ using core::Ternary;
 using core::TernaryWord;
 
 std::uint32_t parse_ipv4(const std::string& dotted) {
-  std::istringstream is(dotted);
+  // Hand-rolled scan so a bad literal names the offending token and octet
+  // position, not just the whole string (std::invalid_argument — an input
+  // error a route-file loader can catch and report per line).
+  const auto bad = [&dotted](int octet_index, const std::string& token,
+                             const std::string& why) -> std::uint32_t {
+    throw std::invalid_argument("invalid IPv4 literal '" + dotted +
+                                "': octet " + std::to_string(octet_index + 1) +
+                                " ('" + token + "') " + why);
+  };
   std::uint32_t out = 0;
+  std::size_t pos = 0;
   for (int i = 0; i < 4; ++i) {
-    int octet = -1;
-    char dot = 0;
-    is >> octet;
-    NEMTCAM_EXPECT_MSG(!is.fail() && octet >= 0 && octet <= 255,
-                       "invalid IPv4 literal: " + dotted);
+    const std::size_t start = pos;
+    while (pos < dotted.size() &&
+           std::isdigit(static_cast<unsigned char>(dotted[pos])) != 0)
+      ++pos;
+    const std::string tok = dotted.substr(start, pos - start);
+    if (tok.empty()) {
+      const std::string found =
+          start < dotted.size() ? dotted.substr(start, 1) : "end of string";
+      return bad(i, found, "is not a decimal octet");
+    }
+    if (tok.size() > 3) return bad(i, tok, "is too long");
+    const int octet = std::stoi(tok);
+    if (octet > 255) return bad(i, tok, "exceeds 255");
     out = (out << 8) | static_cast<std::uint32_t>(octet);
     if (i < 3) {
-      is >> dot;
-      NEMTCAM_EXPECT_MSG(dot == '.', "invalid IPv4 literal: " + dotted);
+      if (pos >= dotted.size() || dotted[pos] != '.')
+        return bad(i, pos < dotted.size() ? dotted.substr(pos, 1) : tok,
+                   "is not followed by '.'");
+      ++pos;
     }
   }
+  if (pos != dotted.size())
+    throw std::invalid_argument("invalid IPv4 literal '" + dotted +
+                                "': trailing characters '" +
+                                dotted.substr(pos) + "'");
   return out;
 }
 

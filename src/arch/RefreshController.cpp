@@ -23,26 +23,77 @@ RefreshSimResult simulate_refresh_interference(const RefreshSimConfig& cfg) {
   const core::EnergyModel costs(cfg.tech, cfg.width, cfg.rows);
   util::Rng rng(cfg.seed);
 
+  // Fault classification, row-indexed for the scheduler.
+  const auto row_flags = [&](const std::vector<int>& rows) {
+    std::vector<bool> flags(static_cast<std::size_t>(cfg.rows), false);
+    for (const int r : rows)
+      if (r >= 0 && r < cfg.rows) flags[static_cast<std::size_t>(r)] = true;
+    return flags;
+  };
+  const std::vector<bool> dead = row_flags(cfg.faults.dead_rows);
+  std::vector<bool> weak = row_flags(cfg.faults.weak_rows);
+  int n_dead = 0;
+  for (int r = 0; r < cfg.rows; ++r)
+    if (dead[static_cast<std::size_t>(r)]) {
+      weak[static_cast<std::size_t>(r)] = false;  // dead trumps weak
+      ++n_dead;
+    }
+  NEMTCAM_EXPECT(cfg.faults.weak_retention_scale > 0.0 &&
+                 cfg.faults.weak_retention_scale <= 1.0);
+
   // Build the refresh schedule.
   struct RefreshOp {
     double start;
     double duration;
     double energy;
+    bool weak_extra;
   };
   std::vector<RefreshOp> refresh_ops;
   if (cfg.policy != RefreshPolicy::None && costs.needs_refresh()) {
     const double period = costs.retention_time();
+    const double weak_period = period * cfg.faults.weak_retention_scale;
     if (cfg.policy == RefreshPolicy::OneShot) {
+      // Dead rows carry no data: the one-shot op skips their share of the
+      // recharge energy (its latency is array-parallel and unchanged).
+      const double energy =
+          costs.refresh_energy() *
+          (1.0 - static_cast<double>(n_dead) / cfg.rows);
       for (double t = period * 0.5; t < cfg.sim_time; t += period)
-        refresh_ops.push_back({t, costs.refresh_latency(), costs.refresh_energy()});
+        refresh_ops.push_back({t, costs.refresh_latency(), energy, false});
+      // Leaky rows cannot wait a full period: they get supplemental
+      // row-granularity refreshes between the one-shot ops.
+      for (int r = 0; r < cfg.rows; ++r) {
+        if (!weak[static_cast<std::size_t>(r)]) continue;
+        for (double t = weak_period * (0.5 + r * 0.01); t < cfg.sim_time;
+             t += weak_period)
+          refresh_ops.push_back(
+              {t, costs.write_latency(), costs.write_energy(), true});
+      }
     } else {
       // Distributed row-by-row: rows refreshed evenly across each period.
       // Each op is a row read + write-back ≈ one row-write latency/energy.
+      // Dead rows are dropped; weak rows cycle on their own shorter period.
       const double slice = period / cfg.rows;
-      for (double t = slice * 0.5; t < cfg.sim_time; t += slice)
-        refresh_ops.push_back({t, costs.write_latency(), costs.write_energy()});
+      for (int r = 0; r < cfg.rows; ++r) {
+        if (dead[static_cast<std::size_t>(r)]) continue;
+        const bool w = weak[static_cast<std::size_t>(r)];
+        const double row_period = w ? weak_period : period;
+        for (double t = slice * (r + 0.5); t < cfg.sim_time; t += row_period)
+          refresh_ops.push_back(
+              {t, costs.write_latency(), costs.write_energy(), w});
+      }
+      std::sort(refresh_ops.begin(), refresh_ops.end(),
+                [](const RefreshOp& a, const RefreshOp& b) {
+                  return a.start < b.start;
+                });
     }
   }
+  if (!refresh_ops.empty() && !cfg.faults.weak_rows.empty() &&
+      cfg.policy == RefreshPolicy::OneShot)
+    std::sort(refresh_ops.begin(), refresh_ops.end(),
+              [](const RefreshOp& a, const RefreshOp& b) {
+                return a.start < b.start;
+              });
 
   // Build the search arrival trace.
   std::vector<double> arrivals;
@@ -64,6 +115,7 @@ RefreshSimResult simulate_refresh_interference(const RefreshSimConfig& cfg) {
   // order between them.
   RefreshSimResult out;
   out.searches_issued = arrivals.size();
+  out.rows_excluded = n_dead;
   std::size_t next_refresh = 0;
   std::size_t next_search = 0;
   double busy_until = 0.0;
@@ -80,6 +132,7 @@ RefreshSimResult simulate_refresh_interference(const RefreshSimConfig& cfg) {
       out.refresh_busy_time += op.duration;
       out.refresh_energy += op.energy;
       ++out.refresh_ops;
+      if (op.weak_extra) ++out.weak_refresh_ops;
     } else {
       const double arrival = arrivals[next_search++];
       const double start = std::max(arrival, busy_until);

@@ -25,6 +25,19 @@ enum class RefreshPolicy {
 
 const char* policy_name(RefreshPolicy p);
 
+// Fault-aware scheduling knobs fed from a fault campaign's report:
+// leaky (Weak) rows lose charge faster than the array's rated retention,
+// so they get supplemental row refreshes on a shortened period; Dead rows
+// hold no data worth refreshing and are excluded from the schedule (and
+// from the one-shot op's per-row energy share).
+struct FaultAwareness {
+  std::vector<int> weak_rows;  // refreshed every weak_retention_scale·T
+  std::vector<int> dead_rows;  // excluded from refresh entirely
+  // Fraction of the rated retention time a weak row can actually hold
+  // charge (gate-leak faults drain the floating gate early).
+  double weak_retention_scale = 0.25;
+};
+
 struct RefreshSimConfig {
   core::TcamTech tech = core::TcamTech::Nem3T2N;
   RefreshPolicy policy = RefreshPolicy::OneShot;
@@ -36,12 +49,15 @@ struct RefreshSimConfig {
   std::uint64_t seed = 1;
   // Row-by-row refreshes are spread uniformly over the retention period
   // (distributed refresh), as DRAM controllers do.
+  FaultAwareness faults;            // empty lists = healthy array
 };
 
 struct RefreshSimResult {
   std::uint64_t searches_issued = 0;
   std::uint64_t searches_served = 0;
   std::uint64_t refresh_ops = 0;       // row ops or one-shot ops
+  std::uint64_t weak_refresh_ops = 0;  // supplemental weak-row refreshes
+  int rows_excluded = 0;               // dead rows dropped from the schedule
   double refresh_energy = 0.0;         // J
   double refresh_busy_time = 0.0;      // s the array was blocked refreshing
   double total_search_wait = 0.0;      // s of queueing delay due to refresh

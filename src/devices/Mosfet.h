@@ -69,6 +69,14 @@ class Mosfet final : public Device {
   // Drain current at the given context (telemetry / tests).
   double ids(const StampContext& ctx) const;
 
+  // Fault-injection hook: shift |V_th| by delta volts (process outlier /
+  // aging). The magnitude is clamped at a 10 mV floor so an extreme
+  // negative outlier degrades to always-on rather than a nonsensical
+  // negative threshold.
+  void shift_vth(double delta_v) {
+    params_.vth = params_.vth + delta_v < 0.01 ? 0.01 : params_.vth + delta_v;
+  }
+
  private:
   NodeId d_, g_, s_;
   MosfetParams params_;

@@ -88,6 +88,12 @@ NemRelay::MechDrive NemRelay::drive_for(double v_now_eff, double v_before_eff,
 }
 
 void NemRelay::commit(const StampContext& ctx) {
+  if (stuck_) {
+    // Pinned beam: the gate charge still tracks the solved voltage (the
+    // capacitor is intact), but no mechanics.
+    q_gb_ = gate_capacitance() * (ctx.v(g_) - ctx.v(b_));
+    return;
+  }
   const double v_now = effective_vgb(ctx.v(g_) - ctx.v(b_));
   const double v_before = effective_vgb(ctx.v_prev(g_) - ctx.v_prev(b_));
 
@@ -106,7 +112,7 @@ void NemRelay::commit(const StampContext& ctx) {
 }
 
 double NemRelay::event_function(const StampContext& ctx) const {
-  if (ctx.dc()) return std::numeric_limits<double>::infinity();
+  if (ctx.dc() || stuck_) return std::numeric_limits<double>::infinity();
   const double v_now = effective_vgb(ctx.v(g_) - ctx.v(b_));
   // Held closed: the contact breaks when |V_GB| falls through pull-out.
   if (position_ >= 1.0 && target_closed_) return v_now - params_.v_po;
@@ -124,7 +130,8 @@ double NemRelay::event_function(const StampContext& ctx) const {
 double NemRelay::max_dt_hint() const {
   // Resolve the traversal while the beam is in flight toward a different
   // state; otherwise leave the step free.
-  const bool at_rest = (position_ <= 0.0 && !target_closed_) ||
+  const bool at_rest = stuck_ ||
+                       (position_ <= 0.0 && !target_closed_) ||
                        (position_ >= 1.0 && target_closed_);
   if (at_rest) return std::numeric_limits<double>::infinity();
   return params_.tau_mech / 50.0;
@@ -140,6 +147,29 @@ void NemRelay::set_state(bool closed, double v_gb) {
   position_ = closed ? 1.0 : 0.0;
   target_closed_ = closed;
   q_gb_ = gate_capacitance() * v_gb;
+}
+
+void NemRelay::force_stuck(bool closed) {
+  stuck_ = true;
+  position_ = closed ? 1.0 : 0.0;
+  target_closed_ = closed;
+  // The beam broke in place: the floating-gate charge is untouched (the
+  // capacitance change redistributes it on the next solve).
+}
+
+void NemRelay::set_contact_resistance(double r_on) {
+  NEMTCAM_EXPECT(r_on > 0.0);
+  params_.r_on = r_on;
+}
+
+void NemRelay::set_gate_leakage(double g) {
+  NEMTCAM_EXPECT(g >= 0.0);
+  params_.gate_leak_g = g;
+}
+
+void NemRelay::set_off_leakage(double g) {
+  NEMTCAM_EXPECT(g >= 0.0);
+  params_.g_off = g;
 }
 
 }  // namespace nemtcam::devices

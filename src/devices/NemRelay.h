@@ -64,6 +64,20 @@ class NemRelay final : public Device {
   // experiment). Also snaps the gate charge to match a given V_GB.
   void set_state(bool closed, double v_gb = 0.0);
 
+  // --- Fault-injection hooks (see fault/FaultInjector) ---
+  // Welds the beam: stuck-closed models contact stiction/welding, stuck-
+  // open a fractured beam. The mechanical state is pinned — actuation,
+  // arrival events, and in-flight dt hints are disabled — while the gate
+  // capacitance keeps the pinned position's value and the charge companion
+  // continues to conserve charge.
+  void force_stuck(bool closed);
+  bool stuck() const noexcept { return stuck_; }
+  // Contact-resistance drift (cycling wear): replaces r_on.
+  void set_contact_resistance(double r_on);
+  // Gate–body leakage (retention loss) and open-contact leakage.
+  void set_gate_leakage(double g);
+  void set_off_leakage(double g);
+
   bool contact() const noexcept { return position_ >= 1.0; }
   double position() const noexcept { return position_; }
   // Direction the beam is currently headed given the last committed
@@ -98,6 +112,7 @@ class NemRelay final : public Device {
 
   double position_ = 0.0;       // z ∈ [0,1]; 1 = contact closed
   bool target_closed_ = false;  // latched hysteresis target
+  bool stuck_ = false;          // fault: mechanical state pinned
   double q_gb_ = 0.0;           // charge on the gate-body capacitance
   double t_closed_ = -1.0;
   double t_opened_ = -1.0;

@@ -16,7 +16,8 @@ VSource::VSource(std::string name, NodeId plus, NodeId minus, double dc_volts,
               std::make_unique<spice::DcWave>(dc_volts), series_ohms) {}
 
 void VSource::stamp(Stamper& s, const StampContext& ctx) {
-  s.voltage_source(plus_, minus_, first_branch(), wave_->value(ctx.t()));
+  s.voltage_source(plus_, minus_, first_branch(),
+                   ctx.source_scale() * wave_->value(ctx.t()));
   if (series_ohms_ > 0.0)
     s.branch_series_resistance(first_branch(), series_ohms_);
 }
@@ -50,7 +51,7 @@ ISource::ISource(std::string name, NodeId from, NodeId to, double dc_amps)
               std::make_unique<spice::DcWave>(dc_amps)) {}
 
 void ISource::stamp(Stamper& s, const StampContext& ctx) {
-  s.current(from_, to_, wave_->value(ctx.t()));
+  s.current(from_, to_, ctx.source_scale() * wave_->value(ctx.t()));
 }
 
 double ISource::delivered_power(const StampContext& ctx) const {

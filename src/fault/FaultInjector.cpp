@@ -1,0 +1,95 @@
+#include "fault/FaultInjector.h"
+
+#include <cctype>
+#include <string>
+
+#include "devices/Mosfet.h"
+#include "devices/NemRelay.h"
+#include "util/Log.h"
+
+namespace nemtcam::fault {
+
+namespace {
+
+// Parses the "<base>_<col>" naming convention; returns -1 when the name
+// has no trailing integer column suffix.
+int column_of(const std::string& name) {
+  const std::size_t us = name.rfind('_');
+  if (us == std::string::npos || us + 1 >= name.size()) return -1;
+  int col = 0;
+  for (std::size_t i = us + 1; i < name.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(name[i])) == 0) return -1;
+    col = col * 10 + (name[i] - '0');
+  }
+  return col;
+}
+
+bool is_target_relay(const std::string& name, bool on_n1) {
+  return name.rfind(on_n1 ? "N1_" : "N2_", 0) == 0;
+}
+
+}  // namespace
+
+int FaultInjector::apply(spice::Circuit& circuit, const FaultSpec& spec) const {
+  if (spec.kind == FaultKind::None) return 0;
+  int applied = 0;
+  for (const auto& dev : circuit.devices()) {
+    if (column_of(dev->name()) != spec.col) continue;
+    if (auto* relay = dynamic_cast<devices::NemRelay*>(dev.get())) {
+      if (!is_target_relay(relay->name(), spec.on_n1)) continue;
+      switch (spec.kind) {
+        case FaultKind::RelayStuckClosed:
+          relay->force_stuck(true);
+          ++applied;
+          break;
+        case FaultKind::RelayStuckOpen:
+          relay->force_stuck(false);
+          relay->set_off_leakage(severity_.g_off_broken);
+          ++applied;
+          break;
+        case FaultKind::ContactDrift:
+          relay->set_contact_resistance(severity_.drift_r_on);
+          ++applied;
+          break;
+        case FaultKind::GateLeak:
+          relay->set_gate_leakage(severity_.leak_g);
+          ++applied;
+          break;
+        default:
+          break;
+      }
+    } else if (auto* mos = dynamic_cast<devices::Mosfet*>(dev.get())) {
+      if (spec.kind != FaultKind::MosVthOutlier) continue;
+      mos->shift_vth(spec.positive ? severity_.vth_shift
+                                   : -severity_.vth_shift);
+      ++applied;
+    }
+  }
+  if (applied == 0)
+    log::debug("fault injector: no device matched ", fault_kind_name(spec.kind),
+               " at col ", spec.col);
+  return applied;
+}
+
+int FaultInjector::apply_row(spice::Circuit& circuit, const FaultReport& report,
+                             int row) const {
+  int applied = 0;
+  for (const FaultSpec& f : report.faults)
+    if (f.row == row) applied += apply(circuit, f);
+  return applied;
+}
+
+std::vector<FaultSpec> FaultInjector::inject(spice::Circuit& circuit,
+                                             std::uint64_t seed, int width,
+                                             const FaultRates& rates) const {
+  std::vector<FaultSpec> applied;
+  for (int c = 0; c < width; ++c) {
+    const FaultSpec spec = fault_at(seed, /*row=*/0, c, rates);
+    if (spec.kind == FaultKind::None) continue;
+    apply(circuit, spec);
+    applied.push_back(spec);
+  }
+  return applied;
+}
+
+}  // namespace nemtcam::fault

@@ -1,0 +1,47 @@
+// Applies drawn FaultSpecs to a built circuit by device-name convention.
+//
+// The TCAM fixtures name per-column devices "<base>_<col>" ("N1_3",
+// "Tw1_0", "Ts_7", …). The injector walks the circuit's device list,
+// parses the trailing column index, and mutates the matching devices in
+// place through the fault hooks (NemRelay::force_stuck /
+// set_contact_resistance / set_gate_leakage, Mosfet::shift_vth) — the
+// AssemblyCache's recorded stamp pattern is unaffected because the hooks
+// only change stamp *values* (a stuck-open relay with g_off = 0 still
+// stamps its zero into its recorded slots).
+#pragma once
+
+#include <vector>
+
+#include "fault/FaultModel.h"
+#include "spice/Circuit.h"
+
+namespace nemtcam::fault {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSeverity severity = {})
+      : severity_(severity) {}
+
+  const FaultSeverity& severity() const noexcept { return severity_; }
+
+  // Applies one fault to every matching device in the circuit. Relay
+  // faults target "N1_<col>" or "N2_<col>" per spec.on_n1; MosVthOutlier
+  // shifts every MOSFET in the column (the compare stack shares the
+  // outlier's process corner). Returns the number of devices mutated.
+  int apply(spice::Circuit& circuit, const FaultSpec& spec) const;
+
+  // Applies every fault of `row` in the report to a single-row circuit.
+  int apply_row(spice::Circuit& circuit, const FaultReport& report,
+                int row) const;
+
+  // Deterministically draws and applies the faults of row 0 of a
+  // width-wide array (the per-trial single-row fixture path used by the
+  // Monte-Carlo campaign). Returns the applied specs.
+  std::vector<FaultSpec> inject(spice::Circuit& circuit, std::uint64_t seed,
+                                int width, const FaultRates& rates) const;
+
+ private:
+  FaultSeverity severity_;
+};
+
+}  // namespace nemtcam::fault

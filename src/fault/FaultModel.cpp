@@ -1,0 +1,211 @@
+#include "fault/FaultModel.h"
+
+#include <algorithm>
+
+#include "util/Expect.h"
+
+namespace nemtcam::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::None: return "none";
+    case FaultKind::RelayStuckClosed: return "relay-stuck-closed";
+    case FaultKind::RelayStuckOpen: return "relay-stuck-open";
+    case FaultKind::ContactDrift: return "contact-drift";
+    case FaultKind::GateLeak: return "gate-leak";
+    case FaultKind::MosVthOutlier: return "mos-vth-outlier";
+  }
+  return "?";
+}
+
+FaultRates FaultRates::uniform(double per_cell_rate) {
+  NEMTCAM_EXPECT(per_cell_rate >= 0.0 && per_cell_rate <= 1.0);
+  FaultRates r;
+  r.stuck_closed = 0.20 * per_cell_rate;
+  r.stuck_open = 0.20 * per_cell_rate;
+  r.contact_drift = 0.25 * per_cell_rate;
+  r.gate_leak = 0.20 * per_cell_rate;
+  r.vth_outlier = 0.15 * per_cell_rate;
+  return r;
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double to_unit(std::uint64_t h) {
+  // Top 53 bits → [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::uint64_t cell_hash(std::uint64_t seed, int row, int col) {
+  const std::uint64_t cell =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(col));
+  return splitmix64(seed ^ splitmix64(cell));
+}
+
+FaultSpec fault_at(std::uint64_t seed, int row, int col,
+                   const FaultRates& rates) {
+  FaultSpec spec;
+  spec.row = row;
+  spec.col = col;
+  const std::uint64_t h = cell_hash(seed, row, col);
+  const double u = to_unit(h);
+  double acc = rates.stuck_closed;
+  if (u < acc) {
+    spec.kind = FaultKind::RelayStuckClosed;
+  } else if (u < (acc += rates.stuck_open)) {
+    spec.kind = FaultKind::RelayStuckOpen;
+  } else if (u < (acc += rates.contact_drift)) {
+    spec.kind = FaultKind::ContactDrift;
+  } else if (u < (acc += rates.gate_leak)) {
+    spec.kind = FaultKind::GateLeak;
+  } else if (u < (acc += rates.vth_outlier)) {
+    spec.kind = FaultKind::MosVthOutlier;
+  } else {
+    return spec;  // None
+  }
+  // Independent low bits pick the branch and the severity sign.
+  spec.on_n1 = (h & 1u) != 0;
+  spec.positive = (h & 2u) != 0;
+  return spec;
+}
+
+CellHealth health_of(FaultKind k) {
+  switch (k) {
+    case FaultKind::None:
+      return CellHealth::Healthy;
+    case FaultKind::RelayStuckClosed:
+    case FaultKind::RelayStuckOpen:
+      return CellHealth::Dead;
+    case FaultKind::ContactDrift:
+    case FaultKind::GateLeak:
+    case FaultKind::MosVthOutlier:
+      return CellHealth::Weak;
+  }
+  return CellHealth::Healthy;
+}
+
+CellHealth FaultReport::row_health(int row) const {
+  CellHealth worst = CellHealth::Healthy;
+  for (const FaultSpec& f : faults) {
+    if (f.row != row) continue;
+    worst = std::max(worst, health_of(f.kind));
+  }
+  return worst;
+}
+
+std::vector<int> FaultReport::dead_rows() const {
+  std::vector<int> out;
+  for (int r = 0; r < rows; ++r)
+    if (row_health(r) == CellHealth::Dead) out.push_back(r);
+  return out;
+}
+
+std::vector<int> FaultReport::weak_rows() const {
+  std::vector<int> out;
+  for (int r = 0; r < rows; ++r)
+    if (row_health(r) == CellHealth::Weak) out.push_back(r);
+  return out;
+}
+
+const FaultSpec* FaultReport::find(int row, int col) const {
+  for (const FaultSpec& f : faults)
+    if (f.row == row && f.col == col) return &f;
+  return nullptr;
+}
+
+FaultReport draw_faults(std::uint64_t seed, int rows, int width,
+                        const FaultRates& rates) {
+  NEMTCAM_EXPECT(rows >= 0 && width >= 0);
+  NEMTCAM_EXPECT(rates.total() <= 1.0);
+  FaultReport report;
+  report.seed = seed;
+  report.rows = rows;
+  report.width = width;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < width; ++c) {
+      const FaultSpec spec = fault_at(seed, r, c, rates);
+      if (spec.kind != FaultKind::None) report.faults.push_back(spec);
+    }
+  return report;
+}
+
+CellBehavior faulty_cell_compare(core::Ternary stored, core::Ternary key,
+                                 FaultKind kind, bool on_n1) {
+  // Healthy closed states and asserted lines of the 3T2N compare network.
+  bool n1_closed = stored == core::Ternary::One;   // drain on SL̄
+  bool n2_closed = stored == core::Ternary::Zero;  // drain on SL
+  const bool slb_asserted = key == core::Ternary::Zero;
+  const bool sl_asserted = key == core::Ternary::One;
+
+  double delay_scale = 1.0;
+  bool drifted = false;
+  switch (kind) {
+    case FaultKind::None:
+      break;
+    case FaultKind::RelayStuckClosed:
+      (on_n1 ? n1_closed : n2_closed) = true;
+      break;
+    case FaultKind::RelayStuckOpen:
+      (on_n1 ? n1_closed : n2_closed) = false;
+      break;
+    case FaultKind::GateLeak:
+      // The leaked branch released before the search arrived.
+      (on_n1 ? n1_closed : n2_closed) = false;
+      break;
+    case FaultKind::ContactDrift:
+      drifted = true;
+      break;
+    case FaultKind::MosVthOutlier:
+      // Periphery-only: the compare topology is intact; the access stack
+      // is marginally slower (raised Vth) or leakier/faster (lowered).
+      delay_scale = 1.1;
+      break;
+  }
+
+  CellBehavior b;
+  const bool n1_path = n1_closed && slb_asserted;
+  const bool n2_path = n2_closed && sl_asserted;
+  if (drifted) {
+    // The drifted branch still discharges, but ~50× slower than the sense
+    // strobe budget assumes — at the strobe it reads as no discharge. The
+    // other (healthy) branch of the same cell is unaffected.
+    const bool healthy_path = on_n1 ? n2_path : n1_path;
+    const bool drifted_path = on_n1 ? n1_path : n2_path;
+    b.discharges = healthy_path;
+    if (drifted_path && !healthy_path) b.delay_scale = 50.0;
+    return b;
+  }
+  b.discharges = n1_path || n2_path;
+  b.delay_scale = delay_scale;
+  return b;
+}
+
+RowOutcome faulty_row_match(const core::TernaryWord& stored,
+                            const core::TernaryWord& key,
+                            const FaultReport& report, int row) {
+  NEMTCAM_EXPECT(stored.size() == key.size());
+  RowOutcome out;
+  for (std::size_t c = 0; c < key.size(); ++c) {
+    const FaultSpec* f = report.find(row, static_cast<int>(c));
+    const CellBehavior b = faulty_cell_compare(
+        stored[c], key[c], f != nullptr ? f->kind : FaultKind::None,
+        f != nullptr && f->on_n1);
+    if (b.discharges) {
+      out.match = false;
+      out.delay_scale = std::max(out.delay_scale, b.delay_scale);
+    }
+  }
+  return out;
+}
+
+}  // namespace nemtcam::fault

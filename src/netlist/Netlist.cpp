@@ -73,7 +73,12 @@ struct Parser {
     try {
       return parse_spice_number(tok);
     } catch (const NetlistError& e) {
-      fail(line_no, e.what());
+      // Make sure the offending token reaches the message even when the
+      // underlying error (empty number, bad suffix) didn't quote it.
+      std::string msg = e.what();
+      if (msg.find("'" + tok + "'") == std::string::npos)
+        msg += " (offending token '" + tok + "')";
+      fail(line_no, msg);
     }
   }
 

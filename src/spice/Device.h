@@ -35,6 +35,13 @@ class StampContext {
 
   Integrator integrator() const noexcept { return integrator_; }
 
+  // Multiplier applied by the independent sources to their drive value.
+  // 1.0 except during source-stepping recovery (see spice/Recovery.h),
+  // where the DC solve is continued from a relaxed circuit by ramping all
+  // source values from a fraction of their level up to full drive.
+  double source_scale() const noexcept { return source_scale_; }
+  void set_source_scale(double scale) noexcept { source_scale_ = scale; }
+
   // Time at the end of the step being solved.
   double t() const noexcept { return t_; }
   // Step size; 0 for DC analysis.
@@ -65,6 +72,7 @@ class StampContext {
   const std::vector<double>* v_iter_;
   const std::vector<double>* v_prev_;
   Integrator integrator_;
+  double source_scale_ = 1.0;
 };
 
 class Stamper;

@@ -9,6 +9,7 @@
 #include "linalg/SparseLu.h"
 #include "linalg/SparseMatrix.h"
 #include "spice/AssemblyCache.h"
+#include "spice/Recovery.h"
 #include "spice/Stamper.h"
 #include "util/Log.h"
 
@@ -25,6 +26,7 @@ bool apply_update(const std::vector<double>& v_new, std::vector<double>& v,
                   int n_node, const NewtonOptions& opts, NewtonResult& result) {
   const std::size_t n = v.size();
   double max_delta = 0.0;
+  int worst = -1;
   bool clamped = false;
   for (std::size_t i = 0; i < n; ++i) {
     double dv = v_new[i] - v[i];
@@ -32,11 +34,14 @@ bool apply_update(const std::vector<double>& v_new, std::vector<double>& v,
       if (dv > opts.damp_limit) { dv = opts.damp_limit; clamped = true; }
       if (dv < -opts.damp_limit) { dv = -opts.damp_limit; clamped = true; }
     }
-    if (i < static_cast<std::size_t>(n_node))
-      max_delta = std::max(max_delta, std::fabs(dv));
+    if (i < static_cast<std::size_t>(n_node) && std::fabs(dv) > max_delta) {
+      max_delta = std::fabs(dv);
+      worst = static_cast<int>(i);
+    }
     v[i] += dv;
   }
   result.max_delta = max_delta;
+  if (worst >= 0) result.worst_unknown = worst;
   if (clamped) return false;
   // Converged when the node-voltage update is negligible.
   double tol_scale = 0.0;
@@ -75,6 +80,7 @@ NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
         std::fill(rhs.begin(), rhs.end(), 0.0);
         Stamper stamper(cache, rhs, n_node);
         StampContext ctx(t, dt, is_dc, n_node, &v, &v_prev, integrator);
+        ctx.set_source_scale(opts.source_scale);
         for (const auto& dev : circuit.devices()) dev->stamp(stamper, ctx);
         if (opts.gmin > 0.0)
           for (int i = 1; i <= n_node; ++i)
@@ -92,6 +98,7 @@ NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
       } catch (const linalg::SingularMatrixError&) {
         log::debug("Newton: singular system at t=", t, " iter=", iter);
         result.converged = false;
+        result.singular = true;
         return result;
       }
 
@@ -114,6 +121,7 @@ NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
     std::fill(rhs.begin(), rhs.end(), 0.0);
     Stamper stamper(a, rhs, n_node);
     StampContext ctx(t, dt, is_dc, n_node, &v, &v_prev, integrator);
+    ctx.set_source_scale(opts.source_scale);
     for (const auto& dev : circuit.devices()) dev->stamp(stamper, ctx);
     if (opts.gmin > 0.0)
       for (int i = 1; i <= n_node; ++i)
@@ -128,6 +136,7 @@ NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
     } catch (const linalg::SingularMatrixError&) {
       log::debug("Newton: singular system at t=", t, " iter=", iter);
       result.converged = false;
+      result.singular = true;
       return result;
     }
 
@@ -143,18 +152,55 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& opts) {
   DcResult dc;
   dc.v = circuit.initial_state();
   const std::vector<double> v_prev = dc.v;
+  std::vector<double> best = dc.v;  // deepest converged rung's solution
+  bool any_rung = false;
   for (double gmin : opts.gmin_ladder) {
     NewtonOptions nopts = opts.newton;
     nopts.gmin = gmin;
     const NewtonResult r =
         solve_newton(circuit, 0.0, 0.0, /*is_dc=*/true, dc.v, v_prev, nopts);
-    if (!r.converged) {
-      log::debug("dc_operating_point: gmin=", gmin, " failed to converge");
-      dc.converged = false;
-      return dc;
+    if (r.converged) {
+      best = dc.v;
+      any_rung = true;
+      continue;
     }
+    dc.last_gmin = gmin;
+    dc.worst_unknown = r.worst_unknown;
+    dc.worst_node = unknown_name(circuit, r.worst_unknown);
+    if (opts.recover) {
+      // Escalate through the recovery ladder at this rung (it re-ramps
+      // gmin down to `gmin` itself and can fall back to source stepping
+      // or a full refactorization).
+      SolverDiagnostics diag;
+      dc.v = any_rung ? best : v_prev;
+      const NewtonResult rr = solve_newton_recovering(
+          circuit, 0.0, 0.0, /*is_dc=*/true, dc.v, v_prev, nopts,
+          RecoveryOptions{}, &diag);
+      if (rr.converged) {
+        best = dc.v;
+        any_rung = true;
+        dc.recovered = true;
+        dc.recovery_stage = stage_name(diag.converged_stage);
+        continue;
+      }
+      dc.last_gmin = diag.last_gmin > 0.0 ? diag.last_gmin : gmin;
+      if (diag.worst_unknown >= 0) {
+        dc.worst_unknown = diag.worst_unknown;
+        dc.worst_node = diag.worst_node;
+      }
+      log::warn("dc_operating_point failed: ", diag.summary(),
+                " (returning partial solution)");
+    } else {
+      log::warn("dc_operating_point: gmin=", gmin,
+                " failed to converge, worst node '", dc.worst_node,
+                "' (recovery disabled; returning partial solution)");
+    }
+    dc.converged = false;
+    dc.v = any_rung ? best : v_prev;
+    return dc;
   }
   dc.converged = true;
+  dc.v = best;
   return dc;
 }
 

@@ -2,6 +2,7 @@
 // plus the DC operating-point driver (Newton with a gmin ladder).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "spice/Circuit.h"
@@ -28,12 +29,21 @@ struct NewtonOptions {
   // symbolic LU across iterations/steps (the fast path). When false, the
   // MNA matrix is rebuilt and fully refactorized every iteration.
   bool use_assembly_cache = default_use_assembly_cache();
+  // Multiplier on every independent source's drive value (source-stepping
+  // continuation, see spice/Recovery.h). 1.0 = full drive.
+  double source_scale = 1.0;
 };
 
 struct NewtonResult {
   bool converged = false;
   int iterations = 0;
   double max_delta = 0.0;
+  // The factorization threw SingularMatrixError (floating node / degenerate
+  // stamp) — distinct from a plain iteration stall.
+  bool singular = false;
+  // Unknown index with the largest |Δv| at the last iteration: the node (or
+  // branch) that refused to settle. -1 when no iteration completed.
+  int worst_unknown = -1;
 };
 
 // Solves f(v) = 0 at time t with step dt (dt == 0 → DC stamping).
@@ -49,11 +59,28 @@ struct DcOptions {
   NewtonOptions newton;
   // gmin stepping ladder: solve repeatedly while relaxing gmin.
   std::vector<double> gmin_ladder = {1e-3, 1e-6, 1e-9, 1e-12};
+  // On gmin-ladder failure, escalate through the recovery ladder
+  // (spice/Recovery.h): tighter damping, gmin re-ramp, source stepping,
+  // full-refactorize fallback.
+  bool recover = true;
 };
 
 struct DcResult {
   bool converged = false;
+  // Best solution found. On failure this is the *partial* solution from
+  // the deepest gmin rung that converged (the zero/IC-seeded guess when
+  // none did) — still useful as a transient starting point or for
+  // diagnosing which node is stuck.
   std::vector<double> v;
+  // Failure attribution: the gmin in effect at the last attempt, and the
+  // unknown that refused to settle there.
+  double last_gmin = 0.0;
+  int worst_unknown = -1;
+  std::string worst_node;
+  // Set when a recovery stage beyond the plain gmin ladder produced the
+  // solution (the stage name, e.g. "source-stepping").
+  bool recovered = false;
+  std::string recovery_stage;
 };
 
 // DC operating point from a zero (or IC-seeded) initial guess.

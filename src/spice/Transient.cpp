@@ -267,6 +267,12 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
   double dt = opts.dt_init;
   double dt_last = opts.dt_init;  // last accepted step (restart sizing)
 
+  // Mutable Newton options: a residual gmin accepted by the recovery
+  // ladder (a genuinely floating node) is folded in here so every later
+  // step holds the node without re-running the ladder.
+  NewtonOptions newton = opts.newton;
+  double sticky_gmin = 0.0;
+
   // Per-device previous power sample for trapezoidal energy integration.
   std::vector<Device*> devs;
   devs.reserve(circuit.devices().size());
@@ -400,6 +406,7 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
     bool predictor_guess_failed = false;
     bool have_estimate = false;
     double r = 1.0;
+    int backoffs = 0;  // dt backoffs spent on this step
     while (!accepted) {
       const bool use_pred =
           lte && opts.warm_start && hist.points() >= 2 && !predictor_guess_failed;
@@ -408,7 +415,7 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
       }
       v = use_pred ? v_pred : v_prev;
       const NewtonResult nr = solve_newton(circuit, t + dt, dt, /*is_dc=*/false,
-                                           v, v_prev, opts.newton,
+                                           v, v_prev, newton,
                                            step_integrator);
       result.newton_iterations += static_cast<std::size_t>(nr.iterations);
       if (!nr.converged) {
@@ -417,6 +424,42 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
           // robust guess. Same dt, one retry.
           predictor_guess_failed = true;
           continue;
+        }
+        // Backoff can't rescue everything: a singular system stays singular
+        // at any dt (no step size un-floats a node), and a stall that
+        // survives the backoff budget needs a stronger aid. Engage the
+        // recovery ladder at the current dt instead of dying at dt_min.
+        const bool engage =
+            opts.recovery.enabled &&
+            (nr.singular || ++backoffs >= opts.recovery.retry_budget ||
+             dt * 0.25 < opts.dt_min);
+        if (engage) {
+          v = v_prev;
+          SolverDiagnostics diag;
+          const NewtonResult rr = solve_newton_recovering(
+              circuit, t + dt, dt, /*is_dc=*/false, v, v_prev, newton,
+              opts.recovery, &diag, step_integrator);
+          result.newton_iterations += static_cast<std::size_t>(rr.iterations);
+          result.diagnostics = std::move(diag);
+          if (rr.converged) {
+            if (result.diagnostics.residual_gmin > 0.0) {
+              sticky_gmin =
+                  std::max(sticky_gmin, result.diagnostics.residual_gmin);
+              newton.gmin = std::max(opts.newton.gmin, sticky_gmin);
+              result.residual_gmin = sticky_gmin;
+            }
+            ++result.steps_recovered;
+            // A ladder-rescued step is treated like a discontinuity: accept
+            // it blind and BE-restart the history from it.
+            have_estimate = false;
+            pending_restart = true;
+            accepted = true;
+            continue;
+          }
+          result.failure = "Newton failed to converge at t=" +
+                           std::to_string(t) + "; recovery ladder: " +
+                           result.diagnostics.summary();
+          return result;
         }
         dt *= 0.25;
         if (dt < opts.dt_min) {
@@ -480,13 +523,13 @@ TransientResult run_transient_from(Circuit& circuit, std::vector<double> v0,
           else
             v = v_prev;
           NewtonResult nr = solve_newton(circuit, t + mid, mid, /*is_dc=*/false,
-                                         v, v_prev, opts.newton,
+                                         v, v_prev, newton,
                                          step_integrator);
           result.newton_iterations += static_cast<std::size_t>(nr.iterations);
           if (!nr.converged) {
             v = v_prev;
             nr = solve_newton(circuit, t + mid, mid, /*is_dc=*/false, v,
-                              v_prev, opts.newton, step_integrator);
+                              v_prev, newton, step_integrator);
             result.newton_iterations += static_cast<std::size_t>(nr.iterations);
           }
           if (!nr.converged) break;  // keep the current (converged) bracket

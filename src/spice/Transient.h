@@ -15,6 +15,7 @@
 
 #include "spice/Circuit.h"
 #include "spice/Newton.h"
+#include "spice/Recovery.h"
 #include "spice/Trace.h"
 
 namespace nemtcam::spice {
@@ -58,6 +59,13 @@ struct TransientOptions {
   double dt_grow = 1.4;         // FixedGrowth: growth factor after an easy step
   NewtonOptions newton;
   Integrator integrator = Integrator::BackwardEuler;
+  // Convergence-recovery ladder engaged when a step's Newton solve cannot
+  // be rescued by dt backoff alone: immediately on a singular system (dt
+  // cannot un-float a node), otherwise once the per-step backoff budget
+  // (recovery.retry_budget) or dt_min is hit. A residual gmin accepted by
+  // the ladder is sticky for the rest of the run so later steps don't
+  // re-pay the ladder for the same floating node.
+  RecoveryOptions recovery;
 
   // --- LTE step control (used when step_control == StepControl::Lte) ---
   StepControl step_control = StepControl::FixedGrowth;
@@ -108,6 +116,13 @@ class TransientResult {
   std::size_t newton_iterations = 0;
   std::size_t steps_rejected = 0;   // LTE rejections (Lte step control only)
   std::size_t events_located = 0;   // device events landed by bisection
+  std::size_t steps_recovered = 0;  // steps accepted via the recovery ladder
+  // Sticky gmin floor in effect at run end (0 = none needed): nonzero means
+  // a floating node was held to ground by the ladder for the whole run.
+  double residual_gmin = 0.0;
+  // Trace of the last recovery-ladder engagement (successful or not); empty
+  // attempts when the ladder never ran.
+  SolverDiagnostics diagnostics;
 
   // Waveform of a node voltage.
   Trace node_trace(NodeId n) const;

@@ -1,5 +1,5 @@
 // Calibration: the single home of every parameter the paper does not pin
-// down explicitly (DESIGN.md §7). Device cardinal parameters (Table I,
+// down explicitly (DESIGN.md §8). Device cardinal parameters (Table I,
 // RRAM/FeFET write conditions) live in the device defaults and are taken
 // from the paper verbatim; everything here is layout- or driver-derived
 // and is set once, never tuned per experiment.

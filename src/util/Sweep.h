@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "util/Expect.h"
@@ -70,6 +71,51 @@ std::vector<R> run_sweep(std::size_t n_trials,
   }
   for (std::size_t i = 0; i < n_trials; ++i)
     if (errors[i]) std::rethrow_exception(errors[i]);
+  return results;
+}
+
+// Result slot of one guarded trial: the value when the trial returned,
+// or the captured failure otherwise.
+template <typename R>
+struct SweepItem {
+  R value{};
+  bool ok = false;
+  std::string error;  // exception what() when !ok
+};
+
+// Like run_sweep, but a trial that throws poisons only its own slot: the
+// exception is captured as a per-index failure record and the remaining
+// N−1 trials still produce results. Determinism contract unchanged (slot
+// by index, seed from (base_seed, trial), thread-count invariant).
+template <typename R>
+std::vector<SweepItem<R>> run_sweep_guarded(
+    std::size_t n_trials,
+    const std::function<R(std::size_t, std::uint64_t)>& body,
+    const SweepOptions& opts = {}) {
+  std::vector<SweepItem<R>> results(n_trials);
+  if (n_trials == 0) return results;
+
+  const auto guarded = [&](std::size_t i) {
+    try {
+      results[i].value = body(i, sweep_trial_seed(opts.base_seed, i));
+      results[i].ok = true;
+    } catch (const std::exception& e) {
+      results[i].error = e.what();
+    } catch (...) {
+      results[i].error = "unknown exception";
+    }
+  };
+
+  const std::size_t threads =
+      opts.threads == 0 ? default_thread_count() : opts.threads;
+  if (threads == 1 || n_trials == 1) {
+    for (std::size_t i = 0; i < n_trials; ++i) guarded(i);
+    return results;
+  }
+  ThreadPool pool(std::min(threads, n_trials));
+  for (std::size_t i = 0; i < n_trials; ++i)
+    pool.submit([&guarded, i] { guarded(i); });
+  pool.wait_idle();
   return results;
 }
 

@@ -79,6 +79,31 @@ TEST(RunSweep, PropagatesTrialExceptions) {
       std::runtime_error);
 }
 
+TEST(RunSweepGuarded, PoisonedItemYieldsPerIndexFailureRecord) {
+  const auto body = [](std::size_t trial, std::uint64_t) -> int {
+    if (trial == 5) throw std::runtime_error("trial 5 boom");
+    return static_cast<int>(trial) * 10;
+  };
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{3}}) {
+    util::SweepOptions opts;
+    opts.threads = threads;
+    const auto items = util::run_sweep_guarded<int>(8, body, opts);
+    ASSERT_EQ(items.size(), 8u);
+    std::size_t ok_count = 0;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i == 5) {
+        EXPECT_FALSE(items[i].ok);
+        EXPECT_EQ(items[i].error, "trial 5 boom");
+        continue;
+      }
+      EXPECT_TRUE(items[i].ok);
+      EXPECT_EQ(items[i].value, static_cast<int>(i) * 10);
+      ++ok_count;
+    }
+    EXPECT_EQ(ok_count, 7u);  // N−1 usable results
+  }
+}
+
 // The real consumer: a small RRAM variation Monte-Carlo, serial vs
 // pooled. Every trial builds its own circuit and derives its variation
 // seed from the trial index alone, so errors and margins must agree

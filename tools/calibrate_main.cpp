@@ -1,6 +1,6 @@
 // Calibration report: runs every paper experiment at a configurable width
 // and prints measured vs target. Used while fixing the free parameters in
-// tcam/Calibration.h (DESIGN.md §7); the benches regenerate the final
+// tcam/Calibration.h (DESIGN.md §8); the benches regenerate the final
 // numbers.
 #include <cstdio>
 #include <cstdlib>

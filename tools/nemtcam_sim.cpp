@@ -175,7 +175,10 @@ int main(int argc, char** argv) {
 
   util::SweepOptions sweep;
   sweep.threads = paths.size() == 1 ? 1 : threads;
-  const auto reports = util::run_sweep<DeckReport>(
+  // Guarded sweep: a deck that throws past simulate_deck's own handling
+  // (solver contract violation, bad_alloc, …) fails alone — the other
+  // decks still simulate and print.
+  const auto items = util::run_sweep_guarded<DeckReport>(
       paths.size(),
       [&paths, points](std::size_t i, std::uint64_t) {
         return simulate_deck(paths[i], points);
@@ -183,13 +186,16 @@ int main(int argc, char** argv) {
       sweep);
 
   bool all_ok = true;
-  for (std::size_t i = 0; i < reports.size(); ++i) {
-    if (reports.size() > 1)
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (items.size() > 1)
       std::printf("%s==== %s ====\n", i == 0 ? "" : "\n", paths[i].c_str());
-    if (reports[i].ok) {
-      std::fputs(reports[i].text.c_str(), stdout);
+    if (items[i].ok && items[i].value.ok) {
+      std::fputs(items[i].value.text.c_str(), stdout);
     } else {
-      std::fputs(reports[i].text.c_str(), stderr);
+      const std::string text =
+          items[i].ok ? items[i].value.text
+                      : "nemtcam_sim: " + paths[i] + ": " + items[i].error + "\n";
+      std::fputs(text.c_str(), stderr);
       all_ok = false;
     }
   }
