@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/Ternary.h"
+#include "erc/Checker.h"
 #include "spice/Transient.h"
 #include "tcam/TcamRow.h"
 #include "util/Table.h"
@@ -57,11 +58,12 @@ inline core::TernaryWord one_bit_mismatch_key(const core::TernaryWord& w) {
 
 // Consumes the step-control CLI flags shared by every bench binary —
 // --reltol=X / --abstol=X / --dt-scale=X (or the two-argument "--reltol X"
-// form) and --fixed-step — applying them to the process-wide transient
+// form), --fixed-step, and --no-erc — applying them to the process-wide
 // defaults and removing them from argv before benchmark::Initialize rejects
 // them as unknown. Lets any ablation bench be rerun at a different accuracy
 // target (or on the legacy fixed grid, optionally refined by --dt-scale)
-// without recompiling.
+// without recompiling; --no-erc skips the pre-simulation ERC pass for
+// benches that time deliberately degenerate circuits.
 inline void consume_step_control_flags(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -82,6 +84,8 @@ inline void consume_step_control_flags(int* argc, char** argv) {
     };
     if (std::strcmp(a, "--fixed-step") == 0) {
       spice::set_default_step_control(spice::StepControl::FixedGrowth);
+    } else if (std::strcmp(a, "--no-erc") == 0) {
+      erc::set_default_enforce(false);
     } else if (flag_value("--reltol") && val > 0.0) {
       spice::set_default_lte_tolerances(val, spice::default_lte_abstol_v());
     } else if (flag_value("--abstol") && val > 0.0) {

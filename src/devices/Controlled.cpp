@@ -47,4 +47,26 @@ void Ccvs::stamp(Stamper& s, const StampContext&) {
   s.branch_row_branch(first_branch(), controlling_->first_branch(), -r_);
 }
 
+
+spice::DeviceTopology Vcvs::topology() const {
+  // The output branch is voltage-defined (a DC path); the control pair
+  // only senses — deliberately not coupled, so a control-side island with
+  // no ground reference of its own is still reported.
+  return {{{"p", p_}, {"m", m_}, {"cp", cp_}, {"cm", cm_}},
+          {{0, 1, spice::DcCoupling::Conductive}}};
+}
+
+spice::DeviceTopology Vccs::topology() const {
+  return {{{"p", p_}, {"m", m_}, {"cp", cp_}, {"cm", cm_}},
+          {{0, 1, spice::DcCoupling::Open}}};
+}
+
+spice::DeviceTopology Cccs::topology() const {
+  return {{{"p", p_}, {"m", m_}}, {{0, 1, spice::DcCoupling::Open}}};
+}
+
+spice::DeviceTopology Ccvs::topology() const {
+  return {{{"p", p_}, {"m", m_}}, {{0, 1, spice::DcCoupling::Conductive}}};
+}
+
 }  // namespace nemtcam::devices

@@ -20,6 +20,7 @@ class Vcvs final : public Device {
 
   int branch_count() const override { return 1; }
   void stamp(Stamper& s, const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
 
  private:
   NodeId p_, m_, cp_, cm_;
@@ -32,6 +33,7 @@ class Vccs final : public Device {
   Vccs(std::string name, NodeId p, NodeId m, NodeId cp, NodeId cm, double gm);
 
   void stamp(Stamper& s, const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
 
  private:
   NodeId p_, m_, cp_, cm_;
@@ -46,6 +48,7 @@ class Cccs final : public Device {
        double gain);
 
   void stamp(Stamper& s, const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
 
  private:
   NodeId p_, m_;
@@ -61,6 +64,7 @@ class Ccvs final : public Device {
 
   int branch_count() const override { return 1; }
   void stamp(Stamper& s, const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
 
  private:
   NodeId p_, m_;

@@ -46,4 +46,10 @@ double Diode::power(const StampContext& ctx) const {
   return v * current_at(v);
 }
 
+
+spice::DeviceTopology Diode::topology() const {
+  return {{{"anode", anode_}, {"cathode", cathode_}},
+          {{0, 1, spice::DcCoupling::Conductive}}};
+}
+
 }  // namespace nemtcam::devices

@@ -101,4 +101,12 @@ void Fefet::set_polarization(double p) {
   p_ = p;
 }
 
+
+spice::DeviceTopology Fefet::topology() const {
+  return {{{"d", d_}, {"g", g_}, {"s", s_}},
+          {{0, 2, spice::DcCoupling::Conductive},
+           {1, 0, spice::DcCoupling::Capacitive},
+           {1, 2, spice::DcCoupling::Capacitive}}};
+}
+
 }  // namespace nemtcam::devices

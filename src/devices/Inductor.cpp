@@ -31,4 +31,10 @@ void Inductor::commit(const StampContext& ctx) {
   i_prev_ = ctx.branch_current(first_branch());
 }
 
+
+spice::DeviceTopology Inductor::topology() const {
+  // A DC short: the branch equation pins v_a = v_b.
+  return {{{"a", a_}, {"b", b_}}, {{0, 1, spice::DcCoupling::Conductive}}};
+}
+
 }  // namespace nemtcam::devices

@@ -19,6 +19,7 @@ class Inductor final : public Device {
   int branch_count() const override { return 1; }
   void stamp(Stamper& s, const StampContext& ctx) override;
   void commit(const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
 
   double inductance() const noexcept { return henries_; }
   double current() const noexcept { return i_prev_; }

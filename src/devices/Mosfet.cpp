@@ -145,4 +145,14 @@ double Mosfet::ids(const StampContext& ctx) const {
   return ekv_eval(params_, params_.vth, ctx.v(g_), ctx.v(d_), ctx.v(s_)).ids;
 }
 
+
+spice::DeviceTopology Mosfet::topology() const {
+  // The channel conducts (at least subthreshold) at DC; the gate draws no
+  // DC current — a node driving only gates has no DC path through them.
+  return {{{"d", d_}, {"g", g_}, {"s", s_}},
+          {{0, 2, spice::DcCoupling::Conductive},
+           {1, 0, spice::DcCoupling::Capacitive},
+           {1, 2, spice::DcCoupling::Capacitive}}};
+}
+
 }  // namespace nemtcam::devices

@@ -62,6 +62,7 @@ class Mosfet final : public Device {
 
   void stamp(Stamper& s, const StampContext& ctx) override;
   void commit(const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
   double event_function(const StampContext& ctx) const override;
   double power(const StampContext& ctx) const override;
 

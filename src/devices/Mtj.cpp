@@ -49,4 +49,10 @@ void Mtj::set_state(double m) {
   m_ = m;
 }
 
+
+spice::DeviceTopology Mtj::topology() const {
+  return {{{"top", top_}, {"bottom", bottom_}},
+          {{0, 1, spice::DcCoupling::Conductive}}};
+}
+
 }  // namespace nemtcam::devices

@@ -35,6 +35,7 @@ class Mtj final : public Device {
 
   void stamp(Stamper& s, const StampContext& ctx) override;
   void commit(const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
   double max_dt_hint() const override;
   double power(const StampContext& ctx) const override;
 

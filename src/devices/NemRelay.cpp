@@ -8,7 +8,10 @@ namespace nemtcam::devices {
 NemRelay::NemRelay(std::string name, NodeId d, NodeId g, NodeId s, NodeId b,
                    NemRelayParams params)
     : Device(std::move(name)), d_(d), g_(g), s_(s), b_(b), params_(params) {
-  NEMTCAM_EXPECT(params_.v_po < params_.v_pi);
+  // An inverted hysteresis window (V_PO >= V_PI) is a design-rule error,
+  // not a contract violation: the ERC value pass reports it by name
+  // (value.hysteresis-inverted) before any solve. The remaining checks
+  // guard quantities the mechanics divide by.
   NEMTCAM_EXPECT(params_.c_on >= params_.c_off && params_.c_off > 0.0);
   NEMTCAM_EXPECT(params_.r_on > 0.0 && params_.g_off >= 0.0);
   NEMTCAM_EXPECT(params_.tau_mech > 0.0);
@@ -170,6 +173,18 @@ void NemRelay::set_gate_leakage(double g) {
 void NemRelay::set_off_leakage(double g) {
   NEMTCAM_EXPECT(g >= 0.0);
   params_.g_off = g;
+}
+
+
+spice::DeviceTopology NemRelay::topology() const {
+  // The open contact still stamps its g_off leakage, so drain–source is
+  // structurally conductive in either mechanical state. The gate–body
+  // actuation capacitor opens at DC unless an explicit leakage is set.
+  return {{{"d", d_}, {"g", g_}, {"s", s_}, {"b", b_}},
+          {{0, 2, spice::DcCoupling::Conductive},
+           {1, 3,
+            params_.gate_leak_g > 0.0 ? spice::DcCoupling::Conductive
+                                      : spice::DcCoupling::Capacitive}}};
 }
 
 }  // namespace nemtcam::devices

@@ -2,10 +2,11 @@
 
 namespace nemtcam::devices {
 
+// A non-positive resistance is not rejected here: the ERC value pass
+// (erc/Rules.cpp, value.nonpositive-r) reports it with the device name
+// before any solve, which beats an anonymous precondition throw mid-parse.
 Resistor::Resistor(std::string name, NodeId a, NodeId b, double ohms)
-    : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {
-  NEMTCAM_EXPECT(ohms_ > 0.0);
-}
+    : Device(std::move(name)), a_(a), b_(b), ohms_(ohms) {}
 
 void Resistor::stamp(Stamper& s, const StampContext&) {
   s.conductance(a_, b_, 1.0 / ohms_);
@@ -73,6 +74,15 @@ void CapCompanion::stamp(Stamper& s, const StampContext& ctx, NodeId a,
 void CapCompanion::commit(const StampContext& ctx, NodeId a, NodeId b) {
   if (ctx.dc() || farads_ == 0.0) return;
   i_prev_ = current_at(ctx, a, b);
+}
+
+
+spice::DeviceTopology Resistor::topology() const {
+  return {{{"a", a_}, {"b", b_}}, {{0, 1, spice::DcCoupling::Conductive}}};
+}
+
+spice::DeviceTopology Capacitor::topology() const {
+  return {{{"a", a_}, {"b", b_}}, {{0, 1, spice::DcCoupling::Capacitive}}};
 }
 
 }  // namespace nemtcam::devices

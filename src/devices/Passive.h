@@ -16,6 +16,7 @@ class Resistor final : public Device {
   Resistor(std::string name, NodeId a, NodeId b, double ohms);
 
   void stamp(Stamper& s, const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
   double power(const StampContext& ctx) const override;
 
   double resistance() const noexcept { return ohms_; }
@@ -36,6 +37,7 @@ class Capacitor final : public Device {
 
   void stamp(Stamper& s, const StampContext& ctx) override;
   void commit(const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
 
   double capacitance() const noexcept { return farads_; }
   // Stored energy at the iterate, E = C·v²/2 (for ledgers/tests).

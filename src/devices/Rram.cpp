@@ -87,4 +87,10 @@ void Rram::set_state(double w) {
   w_ = w;
 }
 
+
+spice::DeviceTopology Rram::topology() const {
+  return {{{"top", top_}, {"bottom", bottom_}},
+          {{0, 1, spice::DcCoupling::Conductive}}};
+}
+
 }  // namespace nemtcam::devices

@@ -65,4 +65,21 @@ std::vector<double> ISource::breakpoints(double t_end) const {
   return wave_->breakpoints(t_end);
 }
 
+
+spice::DeviceTopology VSource::topology() const {
+  spice::DeviceTopology t{{{"plus", plus_}, {"minus", minus_}},
+                   {{0, 1, spice::DcCoupling::Conductive}},
+                   /*is_source=*/true};
+  return t;
+}
+
+spice::DeviceTopology ISource::topology() const {
+  // An ideal current source is a DC open: it injects current but provides
+  // no path, so its nodes still need a conductive route to ground.
+  spice::DeviceTopology t{{{"from", from_}, {"to", to_}},
+                   {{0, 1, spice::DcCoupling::Open}},
+                   /*is_source=*/true};
+  return t;
+}
+
 }  // namespace nemtcam::devices

@@ -27,6 +27,7 @@ class VSource final : public Device {
 
   int branch_count() const override { return 1; }
   void stamp(Stamper& s, const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
   double delivered_power(const StampContext& ctx) const override;
   std::vector<double> breakpoints(double t_end) const override;
 
@@ -53,6 +54,7 @@ class ISource final : public Device {
   ISource(std::string name, NodeId from, NodeId to, double dc_amps);
 
   void stamp(Stamper& s, const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
   double delivered_power(const StampContext& ctx) const override;
   std::vector<double> breakpoints(double t_end) const override;
 

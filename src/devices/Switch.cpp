@@ -18,4 +18,10 @@ double Switch::power(const StampContext& ctx) const {
   return v * v * (closed_ ? 1.0 / r_on_ : 1.0 / r_off_);
 }
 
+
+spice::DeviceTopology Switch::topology() const {
+  // r_off is finite, so the pair is conductive in either state.
+  return {{{"a", a_}, {"b", b_}}, {{0, 1, spice::DcCoupling::Conductive}}};
+}
+
 }  // namespace nemtcam::devices

@@ -17,9 +17,12 @@ class Switch final : public Device {
          double r_off = 1e12, bool closed = false);
 
   void stamp(Stamper& s, const StampContext& ctx) override;
+  spice::DeviceTopology topology() const override;
   double power(const StampContext& ctx) const override;
 
   bool closed() const noexcept { return closed_; }
+  double r_on() const noexcept { return r_on_; }
+  double r_off() const noexcept { return r_off_; }
   void set_closed(bool closed) noexcept { closed_ = closed; }
 
  private:

@@ -1,0 +1,38 @@
+#include "erc/Checker.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "erc/Rules.h"
+
+namespace nemtcam::erc {
+
+namespace {
+std::atomic<bool> g_enforce{std::getenv("NEMTCAM_NO_ERC") == nullptr};
+}  // namespace
+
+bool default_enforce() { return g_enforce.load(std::memory_order_relaxed); }
+
+void set_default_enforce(bool on) {
+  g_enforce.store(on, std::memory_order_relaxed);
+}
+
+Report Checker::run(spice::Circuit& circuit) const {
+  Report report;
+  const NodeGraph graph(circuit);
+
+  std::vector<char> attributed;
+  if (options_.connectivity) {
+    attributed = check_connectivity(graph, report);
+  }
+  if (options_.dc_structure) {
+    check_dc_structure(circuit, graph, attributed, report);
+  }
+  if (options_.values) {
+    check_values(circuit, report);
+  }
+  for (const auto& rule : rules_) rule(circuit, graph, report);
+  return report;
+}
+
+}  // namespace nemtcam::erc

@@ -1,0 +1,60 @@
+#include "erc/Report.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace nemtcam::erc {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Info: return "info";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::size_t Report::count(Severity s) const {
+  return static_cast<std::size_t>(
+      std::count_if(findings_.begin(), findings_.end(),
+                    [s](const Finding& f) { return f.severity == s; }));
+}
+
+std::vector<const Finding*> Report::by_rule(const std::string& rule) const {
+  std::vector<const Finding*> out;
+  for (const Finding& f : findings_)
+    if (f.rule == rule) out.push_back(&f);
+  return out;
+}
+
+std::string Report::to_string() const {
+  std::ostringstream out;
+  for (const Finding& f : findings_) {
+    out << severity_name(f.severity) << "[" << f.rule << "]: " << f.message;
+    if (!f.hint.empty()) out << " (hint: " << f.hint << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Report::summary() const {
+  std::ostringstream out;
+  out << "ERC: " << count(Severity::Error) << " error(s), "
+      << count(Severity::Warning) << " warning(s)";
+  std::set<std::string> rules;
+  for (const Finding& f : findings_) rules.insert(f.rule);
+  if (!rules.empty()) {
+    out << " [";
+    bool first = true;
+    for (const std::string& r : rules) {
+      if (!first) out << ", ";
+      out << r;
+      first = false;
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+}  // namespace nemtcam::erc

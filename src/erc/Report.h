@@ -1,0 +1,57 @@
+// ERC findings: what a static-analysis rule reports.
+//
+// Every finding carries a stable rule id ("connect.dangling",
+// "value.hysteresis-inverted", "tcam.x-encoding", …), a severity, the
+// offending device/node names, and a fix hint — enough for a CI log line
+// or a structured abort message to be actionable without rerunning
+// anything. Severity model:
+//   Error   — the circuit is malformed; simulating it would crash
+//             (singular matrix) or silently produce wrong waveforms.
+//             Harness/CLI abort before Newton runs.
+//   Warning — legal but suspicious (dead stub, marginal parameter);
+//             simulation proceeds.
+//   Info    — advisory only.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nemtcam::erc {
+
+enum class Severity { Info, Warning, Error };
+
+const char* severity_name(Severity s);
+
+struct Finding {
+  std::string rule;                  // stable id, e.g. "connect.island"
+  Severity severity = Severity::Error;
+  std::string message;               // one sentence naming the offender
+  std::vector<std::string> nodes;    // offending node names
+  std::vector<std::string> devices;  // offending device names
+  std::string hint;                  // how to fix it
+};
+
+class Report {
+ public:
+  void add(Finding f) { findings_.push_back(std::move(f)); }
+
+  const std::vector<Finding>& findings() const noexcept { return findings_; }
+  bool empty() const noexcept { return findings_.empty(); }
+  std::size_t count(Severity s) const;
+  bool has_errors() const { return count(Severity::Error) > 0; }
+
+  // Findings carrying the given rule id.
+  std::vector<const Finding*> by_rule(const std::string& rule) const;
+
+  // One line per finding:
+  //   error[connect.island]: nodes a, b form an island ... (hint: ...)
+  std::string to_string() const;
+  // Compact single line: "ERC: 2 errors, 1 warning (connect.island, ...)".
+  std::string summary() const;
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+}  // namespace nemtcam::erc

@@ -1,0 +1,59 @@
+#include "linalg/StructuralRank.h"
+
+namespace nemtcam::linalg {
+
+namespace {
+
+// Kuhn's augmenting-path search: tries to match row r, displacing earlier
+// matches along alternating paths. `visited` is per-outer-iteration.
+bool try_match(std::size_t r, const std::size_t* row_ptr,
+               const std::size_t* cols, std::vector<std::size_t>& col_match,
+               std::vector<char>& visited) {
+  for (std::size_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+    const std::size_t c = cols[k];
+    if (visited[c]) continue;
+    visited[c] = 1;
+    if (col_match[c] == static_cast<std::size_t>(-1) ||
+        try_match(col_match[c], row_ptr, cols, col_match, visited)) {
+      col_match[c] = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StructuralRankResult structural_rank(std::size_t n, const std::size_t* row_ptr,
+                                     const std::size_t* cols) {
+  StructuralRankResult out;
+  std::vector<std::size_t> col_match(n, static_cast<std::size_t>(-1));
+  std::vector<char> row_matched(n, 0);
+  std::vector<char> visited(n, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    std::fill(visited.begin(), visited.end(), 0);
+    if (try_match(r, row_ptr, cols, col_match, visited)) {
+      ++out.rank;
+      row_matched[r] = 1;
+    }
+  }
+  // try_match displaces matches but never unmatches a row overall, so a
+  // row marked matched stays matched; recompute from col_match to be safe
+  // about which rows ended up covered.
+  std::fill(row_matched.begin(), row_matched.end(), 0);
+  for (std::size_t c = 0; c < n; ++c) {
+    if (col_match[c] != static_cast<std::size_t>(-1))
+      row_matched[col_match[c]] = 1;
+    else
+      out.unmatched_cols.push_back(c);
+  }
+  for (std::size_t r = 0; r < n; ++r)
+    if (!row_matched[r]) out.unmatched_rows.push_back(r);
+  return out;
+}
+
+StructuralRankResult structural_rank(const CsrView& a) {
+  return structural_rank(a.n, a.row_ptr, a.cols);
+}
+
+}  // namespace nemtcam::linalg

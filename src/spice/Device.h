@@ -77,6 +77,33 @@ class StampContext {
 
 class Stamper;
 
+// How a terminal pair couples at DC, for static (pre-solve) analysis.
+enum class DcCoupling {
+  Conductive,   // DC current path: resistor, channel, contact, V-defined branch
+  Capacitive,   // charge coupling only — open at DC (capacitor, MOS gate)
+  Open,         // no DC coupling (ideal current-source output)
+};
+
+// Static self-description consumed by the ERC/lint subsystem (nemtcam::erc)
+// and the structural-singularity reporter: the device's terminals with
+// their schematic roles, and how each terminal pair couples at DC. This is
+// declarative topology, independent of the stamp values — a relay reports
+// its drain–source contact as Conductive whether open or closed, because
+// the open contact still stamps its g_off leakage slot.
+struct DeviceTopology {
+  struct Terminal {
+    const char* label;  // schematic role, e.g. "d", "g", "plus"
+    NodeId node;
+  };
+  struct Coupling {
+    int a, b;  // indices into `terminals`
+    DcCoupling kind;
+  };
+  std::vector<Terminal> terminals;
+  std::vector<Coupling> couplings;
+  bool is_source = false;  // independent source: drives the circuit
+};
+
 class Device {
  public:
   explicit Device(std::string name) : name_(std::move(name)) {}
@@ -89,6 +116,12 @@ class Device {
 
   // Number of extra MNA branch-current unknowns this device needs.
   virtual int branch_count() const { return 0; }
+
+  // Terminal/coupling self-description for static analysis. The default
+  // (no terminals) keeps ad-hoc test devices valid; every shipped device
+  // overrides it, and the ERC connectivity rules see only what is
+  // reported here.
+  virtual DeviceTopology topology() const { return {}; }
 
   // Stamps the Newton linearization at the context's iterate.
   virtual void stamp(Stamper& s, const StampContext& ctx) = 0;

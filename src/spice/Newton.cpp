@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <sstream>
 
 #include "linalg/DenseLu.h"  // SingularMatrixError
 #include "linalg/SparseLu.h"
 #include "linalg/SparseMatrix.h"
+#include "linalg/StructuralRank.h"
 #include "spice/AssemblyCache.h"
 #include "spice/Recovery.h"
 #include "spice/Stamper.h"
@@ -148,6 +150,55 @@ NewtonResult solve_newton(Circuit& circuit, double t, double dt, bool is_dc,
   return result;
 }
 
+std::string structural_singularity_report(Circuit& circuit) {
+  const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
+  if (n == 0) return {};
+  // Assemble the gmin-free DC pattern into a private cache (the circuit's
+  // own solver cache keeps its gmin-augmented pattern). stamp() reads
+  // device state but never advances it; only commit() does.
+  AssemblyCache cache;
+  std::vector<double> v(n, 0.0);
+  std::vector<double> rhs(n, 0.0);
+  cache.begin(n);
+  Stamper stamper(cache, rhs, circuit.node_unknowns());
+  const StampContext ctx(0.0, 0.0, /*is_dc=*/true, circuit.node_unknowns(),
+                         &v, &v);
+  for (const auto& dev : circuit.devices()) dev->stamp(stamper, ctx);
+  cache.finish();
+
+  const auto rank = linalg::structural_rank(cache.view());
+  if (rank.full_rank(n)) return {};
+
+  std::vector<char> flagged(n, 0);
+  for (const std::size_t c : rank.unmatched_cols) flagged[c] = 1;
+  for (const std::size_t r : rank.unmatched_rows) flagged[r] = 1;
+  const int n_node = circuit.node_unknowns();
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!flagged[u]) continue;
+    if (!first) out << "; ";
+    first = false;
+    if (u < static_cast<std::size_t>(n_node)) {
+      out << "node '" << circuit.node_name(static_cast<NodeId>(u + 1))
+          << "' is structurally undetermined at DC";
+    } else {
+      const int b = static_cast<int>(u) - n_node;
+      const Device* owner = nullptr;
+      for (const auto& dev : circuit.devices()) {
+        if (dev->branch_count() > 0 && dev->first_branch() <= b &&
+            b < dev->first_branch() + dev->branch_count()) {
+          owner = dev.get();
+          break;
+        }
+      }
+      out << "branch current of device '" << (owner ? owner->name() : "?")
+          << "' is structurally undetermined at DC";
+    }
+  }
+  return out.str();
+}
+
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& opts) {
   DcResult dc;
   dc.v = circuit.initial_state();
@@ -195,6 +246,12 @@ DcResult dc_operating_point(Circuit& circuit, const DcOptions& opts) {
                 " failed to converge, worst node '", dc.worst_node,
                 "' (recovery disabled; returning partial solution)");
     }
+    // Distinguish a structural defect (singular for every value
+    // assignment — a netlist bug) from a numerical stall: name the
+    // offending node/device via the structural-rank pass.
+    dc.singular_detail = structural_singularity_report(circuit);
+    if (!dc.singular_detail.empty())
+      log::warn("dc_operating_point: ", dc.singular_detail);
     dc.converged = false;
     dc.v = any_rung ? best : v_prev;
     return dc;

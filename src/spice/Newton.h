@@ -81,7 +81,20 @@ struct DcResult {
   // solution (the stage name, e.g. "source-stepping").
   bool recovered = false;
   std::string recovery_stage;
+  // When the failure is structural (the gmin-free DC pattern is rank-
+  // deficient for every value assignment), the offending nodes/devices by
+  // name — e.g. "node 'sense' (capacitor-only cut set?)". Empty when the
+  // pattern has full structural rank, i.e. the failure is numerical.
+  std::string singular_detail;
 };
+
+// Names the structurally undetermined unknowns of the circuit's gmin-free
+// DC stamp pattern via the bipartite matching in linalg/StructuralRank.
+// Returns "" when the pattern has full structural rank. dc_operating_point
+// attaches this to failures so a floating sense node reads as
+// "node 'sense' is structurally undetermined" instead of a bare
+// singular-matrix throw; the full rule-level diagnosis lives in erc/.
+std::string structural_singularity_report(Circuit& circuit);
 
 // DC operating point from a zero (or IC-seeded) initial guess.
 DcResult dc_operating_point(Circuit& circuit, const DcOptions& opts = {});

@@ -23,7 +23,11 @@ std::string unknown_name(const Circuit& circuit, int unknown) {
   if (unknown < 0) return {};
   if (unknown < circuit.node_unknowns())
     return circuit.node_name(static_cast<NodeId>(unknown + 1));
-  return "b" + std::to_string(unknown - circuit.node_unknowns());
+  // Built up in place: the one-liner `"b" + std::to_string(...)` trips a
+  // GCC 12 -Wrestrict false positive (PR105329) under -Werror.
+  std::string name = "b";
+  name += std::to_string(unknown - circuit.node_unknowns());
+  return name;
 }
 
 std::string SolverDiagnostics::summary() const {

@@ -5,6 +5,7 @@
 #include "devices/Mosfet.h"
 #include "devices/Passive.h"
 #include "devices/Sources.h"
+#include "erc/TcamRules.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
@@ -66,6 +67,9 @@ SearchMetrics Dtcam5TRow::search(const TernaryWord& key) {
     if (lv.v1 > 0.0) ckt.set_ic(stg1, lv.v1);
     if (lv.v2 > 0.0) ckt.set_ic(stg2, lv.v2);
   }
+
+  // Two compare-stack transistors per cell load the ML.
+  fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * width()));
 
   const auto result = fx.run();
   // The stored level (~0.76 V) drives the top compare device with less

@@ -5,6 +5,7 @@
 #include "devices/Fefet.h"
 #include "devices/Passive.h"
 #include "devices/Sources.h"
+#include "erc/TcamRules.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
@@ -44,6 +45,9 @@ SearchMetrics Fefet2FRow::search(const TernaryWord& key) {
     f1.set_low_vth(st.f1_low_vth);
     f2.set_low_vth(st.f2_low_vth);
   }
+
+  // Two FeFETs per cell load the ML.
+  fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * width()));
 
   const auto result = fx.run();
   return fx.metrics(result, cal().t_strobe_fefet * strobe_scale());

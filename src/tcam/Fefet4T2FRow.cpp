@@ -6,6 +6,7 @@
 #include "devices/Mosfet.h"
 #include "devices/Passive.h"
 #include "devices/Sources.h"
+#include "erc/TcamRules.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
@@ -73,6 +74,9 @@ SearchMetrics Fefet4T2FRow::search(const TernaryWord& key) {
     ckt.set_ic(fga, c.vdd);  // already biased when the search begins
     ckt.set_ic(fgb, c.vdd);
   }
+
+  // Two compare transistors per cell load the ML.
+  fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * width()));
 
   const auto result = fx.run();
   return fx.metrics(result, c.t_strobe_fefet * strobe_scale() * 1.6);

@@ -3,6 +3,7 @@
 #include "devices/Mosfet.h"
 #include "devices/Passive.h"
 #include "devices/Sources.h"
+#include "erc/TcamRules.h"
 #include "spice/Waveform.h"
 
 namespace nemtcam::tcam {
@@ -85,9 +86,24 @@ SearchFixture::SearchFixture(const Calibration& cal, const CellGeometry& geo,
     slb_.push_back(add_driven_line(circuit_, cal, "slb" + std::to_string(i),
                                    c_sl, 0.0, v_slb, t_edge_));
   }
+
+  checker_.add_rule(erc::ml_precharge_rule(ml_, vdd_));
+}
+
+const erc::Report& SearchFixture::check() {
+  if (!report_.has_value()) report_ = checker_.run(circuit_);
+  return *report_;
 }
 
 spice::TransientResult SearchFixture::run(double dt_max) {
+  if (erc::default_enforce()) {
+    const erc::Report& rep = check();
+    if (rep.has_errors()) {
+      spice::TransientResult r;
+      r.failure = "ERC failed before simulation\n" + rep.to_string();
+      return r;
+    }
+  }
   spice::TransientOptions opts = spice::step_defaults(t_end_, dt_max);
   // metrics() only reads the match line, so record just that node instead
   // of the full unknown vector (O(width) memory per step otherwise).
@@ -98,6 +114,10 @@ spice::TransientResult SearchFixture::run(double dt_max) {
 SearchMetrics SearchFixture::metrics(const spice::TransientResult& result,
                                      double strobe_delay) const {
   SearchMetrics m;
+  if (report_.has_value()) {
+    m.erc_errors = report_->count(erc::Severity::Error);
+    m.erc_warnings = report_->count(erc::Severity::Warning);
+  }
   if (!result.finished) {
     m.note = "transient failed: " + result.failure;
     return m;

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/Ternary.h"
+#include "erc/Checker.h"
 #include "spice/Circuit.h"
 #include "spice/Transient.h"
 #include "tcam/Calibration.h"
@@ -38,7 +40,19 @@ class SearchFixture {
   double t_edge() const noexcept { return t_edge_; }
   double t_end() const noexcept { return t_end_; }
 
+  // Static-analysis hook: the fixture pre-registers the generic rules
+  // (ML precharge reachability); row builders add design-specific rules
+  // (fan-in count, relay-pair consistency, …) before run().
+  erc::Checker& checker() noexcept { return checker_; }
+
+  // Runs the ERC pass over the assembled circuit (cached — rules run
+  // once). run() calls this when erc::default_enforce() is on; tests call
+  // it directly to assert fixtures are clean.
+  const erc::Report& check();
+
   // Runs the transient with step control suited to the search timescale.
+  // When ERC enforcement is on and check() reports errors, no transient is
+  // run: the result carries the structured report as its failure text.
   spice::TransientResult run(double dt_max = 20e-12);
 
   // Interprets the run. Match/mismatch is decided at the sense strobe
@@ -49,6 +63,8 @@ class SearchFixture {
 
  private:
   Calibration cal_;  // by value: rows may pass a locally adjusted copy
+  erc::Checker checker_;
+  std::optional<erc::Report> report_;
   spice::Circuit circuit_;
   spice::NodeId vdd_;
   spice::NodeId ml_;

@@ -24,6 +24,10 @@ struct SearchMetrics {
   std::size_t steps = 0;           // accepted transient steps
   std::size_t steps_rejected = 0;  // LTE rejections
   std::size_t newton_iters = 0;    // total Newton iterations
+  // Static-analysis telemetry: findings from the pre-simulation ERC pass
+  // (errors > 0 means no transient was run and ok stays false).
+  std::size_t erc_errors = 0;
+  std::size_t erc_warnings = 0;
   std::string note;
 
   double edp() const { return energy * latency; }

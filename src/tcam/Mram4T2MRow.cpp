@@ -6,6 +6,7 @@
 #include "devices/Mtj.h"
 #include "devices/Passive.h"
 #include "devices/Sources.h"
+#include "erc/TcamRules.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
@@ -66,6 +67,9 @@ SearchMetrics Mram4T2MRow::search(const TernaryWord& key) {
     ckt.add<Mosfet>("Tacc_" + sfx, mid, ckt.ground(), ckt.ground(),
                     c.nem_write_nmos());
   }
+
+  // One sense NMOS per cell loads the ML.
+  fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), width()));
 
   const auto result = fx.run();
   // The thin TMR-limited overdrive makes this the slowest search of all

@@ -6,6 +6,7 @@
 #include "devices/NemRelay.h"
 #include "devices/Passive.h"
 #include "devices/Sources.h"
+#include "erc/TcamRules.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
@@ -33,11 +34,6 @@ RelayTargets targets_for(Ternary t) {
     case Ternary::X: return {false, false};
   }
   return {false, false};
-}
-
-std::unique_ptr<spice::Waveform> step_wave(double v0, double v1, double t_edge) {
-  return std::make_unique<PwlWave>(std::vector<std::pair<double, double>>{
-      {0.0, v0}, {t_edge, v0}, {t_edge + 20e-12, v1}});
 }
 
 // Draws per-device pull-in/pull-out thresholds around the nominals.
@@ -86,6 +82,14 @@ SearchMetrics Nem3T2NRow::search(const TernaryWord& key) {
     if (v1 > 0.0) ckt.set_ic(stg1, v1);
     if (v2 > 0.0) ckt.set_ic(stg2, v2);
   }
+
+  // Design rules the fixture cannot know: one sense NMOS per cell loads
+  // the ML, the relay pair must encode the stored word (X = OFF/OFF), and
+  // every relay's hysteresis window must admit the calibration's one-shot
+  // refresh level.
+  fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), width()));
+  fx.checker().add_rule(erc::nem_pair_rule(stored_));
+  fx.checker().add_rule(erc::relay_refresh_window_rule(c.v_refresh));
 
   const auto result = fx.run();
   return fx.metrics(result, cal().t_strobe_nem * strobe_scale());

@@ -6,6 +6,7 @@
 #include "devices/Passive.h"
 #include "devices/Rram.h"
 #include "devices/Sources.h"
+#include "erc/TcamRules.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
@@ -71,6 +72,9 @@ SearchMetrics Rram2T2RRow::search(const TernaryWord& key) {
     ra.set_state(st.a_lrs ? 1.0 : 0.0);
     rb.set_state(st.b_lrs ? 1.0 : 0.0);
   }
+
+  // Two RRAM branches per cell load the ML.
+  fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * width()));
 
   const auto result = fx.run();
   return fx.metrics(result, cal().t_strobe_rram * strobe_scale());

@@ -5,6 +5,7 @@
 #include "devices/Mosfet.h"
 #include "devices/Passive.h"
 #include "devices/Sources.h"
+#include "erc/TcamRules.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
@@ -92,6 +93,9 @@ SearchMetrics Sram16TRow::search(const TernaryWord& key) {
     ckt.add<Mosfet>("Mc4_" + sfx, cmp_b, fx.sl(i), ckt.ground(),
                     MosfetParams::nmos_lp(c.w_sram_cmp));
   }
+
+  // Two compare-stack transistors per cell load the ML.
+  fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * width()));
 
   const auto result = fx.run();
   return fx.metrics(result, cal().t_strobe_sram * strobe_scale());

@@ -177,8 +177,12 @@ TEST(PortRange, CoversExactlyTheRange) {
       return count;
     };
     for (int probe : {lo, hi, (lo + hi) / 2}) EXPECT_EQ(covered(probe), 1);
-    if (lo > 0) EXPECT_EQ(covered(lo - 1), 0);
-    if (hi < 65535) EXPECT_EQ(covered(hi + 1), 0);
+    if (lo > 0) {
+      EXPECT_EQ(covered(lo - 1), 0);
+    }
+    if (hi < 65535) {
+      EXPECT_EQ(covered(hi + 1), 0);
+    }
   }
 }
 

@@ -31,8 +31,13 @@ double random_network_probe(std::uint64_t seed, double v1, double v2) {
   Circuit c;
   const int n_nodes = 8;
   std::vector<NodeId> nodes;
-  for (int i = 0; i < n_nodes; ++i)
-    nodes.push_back(c.node("n" + std::to_string(i)));
+  for (int i = 0; i < n_nodes; ++i) {
+    // Built up in place: `"n" + std::to_string(i)` trips a GCC 12
+    // -Wrestrict false positive (PR105329) under -Werror.
+    std::string name = "n";
+    name += std::to_string(i);
+    nodes.push_back(c.node(name));
+  }
   // Ladder plus random cross links (values fixed by the seed).
   for (int i = 0; i + 1 < n_nodes; ++i)
     c.add<Resistor>("Rl" + std::to_string(i), nodes[static_cast<std::size_t>(i)],

@@ -33,14 +33,15 @@ INSTANTIATE_TEST_SUITE_P(Designs, AllKinds,
                                            TcamKind::Fefet2F,
                                            TcamKind::Dtcam5T,
                                            TcamKind::Fefet4T2F),
-                         [](const auto& info) {
-                           switch (info.param) {
+                         [](const auto& param_info) {
+                           switch (param_info.param) {
                              case TcamKind::Sram16T: return "Sram16T";
                              case TcamKind::Nem3T2N: return "Nem3T2N";
                              case TcamKind::Rram2T2R: return "Rram2T2R";
                              case TcamKind::Fefet2F: return "Fefet2F";
                              case TcamKind::Dtcam5T: return "Dtcam5T";
                              case TcamKind::Fefet4T2F: return "Fefet4T2F";
+                             case TcamKind::Mram4T2M: return "Mram4T2M";
                            }
                            return "unknown";
                          });

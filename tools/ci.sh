@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Local CI chain for nemtcam. Run from the repo root:
+#
+#   tools/ci.sh
+#
+# Stages:
+#   1. release build (preset `release`) + full ctest
+#   2. ASan/UBSan build (preset `asan`) + the `robustness` test label
+#   3. lint build (preset `lint`): -Wall -Wextra -Wshadow -Werror, plus
+#      clang-tidy when installed (the CMake option degrades gracefully)
+#   4. static ERC over the shipped example decks via nemtcam_lint
+#
+# Fails fast on the first broken stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==== [1/4] release build + tests ===="
+cmake --preset release
+cmake --build --preset release -j
+ctest --preset all -j
+
+echo "==== [2/4] asan build + robustness label ===="
+cmake --preset asan
+cmake --build --preset asan -j
+ctest --preset robustness-asan -j
+
+echo "==== [3/4] lint build (-Werror, clang-tidy if installed) ===="
+cmake --preset lint
+cmake --build --preset lint -j
+
+echo "==== [4/4] ERC over example decks ===="
+build/tools/nemtcam_lint examples/decks/*.sp
+
+echo "==== ci.sh: all stages passed ===="

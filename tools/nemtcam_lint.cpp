@@ -1,0 +1,95 @@
+// nemtcam_lint — static ERC over SPICE-style netlists; no simulation.
+//
+//   nemtcam_lint <deck.sp> [more decks...] [--werror] [--quiet]
+//
+// Parses each deck and runs the full ERC pass (connectivity, DC
+// structural rank, value lint — see src/erc/Rules.h for the rule
+// catalog), printing one line per finding:
+//
+//   deck.sp: error[connect.no-dc-path]: node 'sense' has no DC-conductive
+//   path to ground (touched by C1) (hint: add a DC leak path ...)
+//
+// Exit status: 0 when every deck is clean of errors, 1 when any deck has
+// an error (or, under --werror, a warning), 2 on usage/parse/IO problems.
+// --quiet suppresses per-finding lines and prints only the per-deck
+// summary, which is what tools/ci.sh greps.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "erc/Checker.h"
+#include "netlist/Netlist.h"
+
+using namespace nemtcam;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: nemtcam_lint <deck.sp> [more decks...]"
+               " [--werror] [--quiet]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--werror") == 0) {
+      werror = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (argv[i][0] != '-') {
+      paths.emplace_back(argv[i]);
+    } else {
+      return usage();
+    }
+  }
+  if (paths.empty()) return usage();
+
+  bool clean = true;
+  bool broken = false;  // parse/IO failures → exit 2
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "nemtcam_lint: cannot open '%s'\n", path.c_str());
+      broken = true;
+      continue;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+
+    spice::ParsedNetlist deck;
+    try {
+      deck = spice::parse_netlist(buf.str());
+    } catch (const spice::NetlistError& e) {
+      std::fprintf(stderr, "nemtcam_lint: %s: %s\n", path.c_str(), e.what());
+      broken = true;
+      continue;
+    }
+
+    const erc::Report report = erc::Checker().run(*deck.circuit);
+    if (!quiet) {
+      for (const auto& f : report.findings()) {
+        std::string line = path + ": " + erc::severity_name(f.severity) +
+                           "[" + f.rule + "]: " + f.message;
+        if (!f.hint.empty()) line += " (hint: " + f.hint + ")";
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    std::printf("%s: %s\n", path.c_str(),
+                report.empty() ? "clean" : report.summary().c_str());
+    if (report.has_errors() ||
+        (werror && report.count(erc::Severity::Warning) > 0))
+      clean = false;
+  }
+  if (broken) return 2;
+  return clean ? 0 : 1;
+}

@@ -14,6 +14,10 @@
 // deck's .tran dt_max caps the step. --reltol/--abstol set the accuracy
 // target, --fixed-step reverts to the legacy fixed-growth Backward Euler
 // grid (where dt_max alone sets the accuracy).
+//
+// Every deck is ERC-checked before any solve (see src/erc/): errors abort
+// the deck with the structured findings report, warnings print and the
+// simulation proceeds. --no-erc (or NEMTCAM_NO_ERC) skips the pass.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "erc/Checker.h"
 #include "netlist/Netlist.h"
 #include "spice/Newton.h"
 #include "spice/Transient.h"
@@ -37,7 +42,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: nemtcam_sim <deck.sp> [more decks...]"
                " [--points N] [--threads N]"
-               " [--reltol X] [--abstol X] [--fixed-step]\n");
+               " [--reltol X] [--abstol X] [--fixed-step] [--no-erc]\n");
   return 2;
 }
 
@@ -74,11 +79,26 @@ DeckReport simulate_deck(const std::string& path, int points) {
 
   Circuit& ckt = *deck.circuit;
 
+  // Static checks before any Newton iteration: a malformed deck aborts
+  // with named findings instead of a singular-matrix failure mid-solve.
+  if (erc::default_enforce()) {
+    const erc::Report report = erc::Checker().run(ckt);
+    if (report.has_errors()) {
+      rep.text = "nemtcam_sim: ERC failed for '" + path + "' (" +
+                 report.summary() + ")\n" + report.to_string();
+      return rep;
+    }
+    if (!report.empty()) out << report.to_string();
+  }
+
   if (deck.analysis.kind == ParsedAnalysis::Kind::Op ||
       deck.analysis.kind == ParsedAnalysis::Kind::None) {
     const auto dc = dc_operating_point(ckt);
     if (!dc.converged) {
-      rep.text = "nemtcam_sim: DC operating point did not converge\n";
+      rep.text = "nemtcam_sim: DC operating point did not converge";
+      if (!dc.singular_detail.empty())
+        rep.text += " (" + dc.singular_detail + ")";
+      rep.text += "\n";
       return rep;
     }
     util::Table t({"node", "voltage"});
@@ -165,6 +185,8 @@ int main(int argc, char** argv) {
       set_default_lte_tolerances(default_lte_reltol(), x);
     } else if (std::strcmp(argv[i], "--fixed-step") == 0) {
       set_default_step_control(StepControl::FixedGrowth);
+    } else if (std::strcmp(argv[i], "--no-erc") == 0) {
+      erc::set_default_enforce(false);
     } else if (argv[i][0] != '-') {
       paths.emplace_back(argv[i]);
     } else {
