@@ -1,7 +1,7 @@
 // Solver fast-path A/B bench (no paper figure — engineering validation).
 //
-// Three comparisons, written to bench_solver.json / BENCH_pr2.json for
-// machine checks:
+// Four comparisons, written to bench_solver.json / BENCH_pr2.json /
+// BENCH_pr5.json for machine checks:
 //  1. A full 64-wide 3T2N search transient with the assembly-cache +
 //     symbolic-LU fast path enabled vs the legacy rebuild-and-refactorize
 //     path (the pre-change solver, kept behind
@@ -17,16 +17,45 @@
 //     energy) are judged against the refined reference: the legacy grid's
 //     own energy is >2% off it, so matching the reference at a fraction
 //     of its steps is the win being recorded.
+//  4. Template reuse: repeated searches on one row with the hierarchical
+//     template path (elaborate once, then rebind sources + device state
+//     per transaction) vs the legacy flat path that reconstructs the
+//     fixture circuit for every search. Per-search wall-clock, heap
+//     allocation counts (via the replacement operator new below), and the
+//     elaboration/stamp-pattern counters proving zero reconstruction
+//     during replay go to BENCH_pr5.json.
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <random>
 
 #include "BenchCommon.h"
+#include "hier/Elaborate.h"
 #include "linalg/SparseLu.h"
 #include "spice/Newton.h"
 #include "spice/Transient.h"
 #include "tcam/Nem3T2NRow.h"
+
+// Process-wide heap-allocation counter for the template-reuse leg. The
+// replaceable allocation functions must live at global scope with external
+// linkage; only the count hook is added — allocation itself stays malloc.
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -214,6 +243,68 @@ BENCHMARK(BM_SearchStepFixed)->Iterations(3)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SearchStepFixedRefined)->Iterations(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SearchStepAdaptive)->Iterations(3)->Unit(benchmark::kMillisecond);
 
+// --- Template reuse: rebuild-per-search vs rebind replay ---
+
+// Searches timed per leg after the warm-up; even so keys alternate between
+// all-match and one-bit-mismatch so the rebind path re-drives the SLs.
+constexpr int kReuseSearches = 6;
+
+struct ReuseLeg {
+  double per_search_s = 0.0;
+  std::uint64_t allocs_per_search = 0;
+  std::uint64_t instances_elaborated = 0;  // delta across the timed searches
+  SearchMetrics m;                         // metrics of the last search
+};
+
+ReuseLeg g_reuse_rebuild, g_reuse_rebind;
+
+ReuseLeg run_reuse_leg(bool use_template) {
+  const bool saved = hier::default_enabled();
+  hier::set_default_enabled(use_template);
+  Nem3T2NRow row(kWidth, kRows, Calibration::standard());
+  const auto word = checker_word(kWidth);
+  row.store(word);
+  const auto key = one_bit_mismatch_key(word);
+  // Warm-up search: the template leg pays its one-time elaboration here;
+  // both legs fill the solver caches the fairest way they can.
+  benchmark::DoNotOptimize(row.search(key).ml_min);
+  const std::uint64_t elab0 = hier::stats().instances_elaborated;
+  const std::uint64_t a0 = g_heap_allocs.load(std::memory_order_relaxed);
+  ReuseLeg out;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kReuseSearches; ++i)
+    out.m = row.search((i % 2) ? word : key);
+  out.per_search_s = seconds_since(t0) / kReuseSearches;
+  out.allocs_per_search =
+      (g_heap_allocs.load(std::memory_order_relaxed) - a0) / kReuseSearches;
+  out.instances_elaborated = hier::stats().instances_elaborated - elab0;
+  hier::set_default_enabled(saved);
+  return out;
+}
+
+void BM_SearchRebuildPerSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    g_reuse_rebuild = run_reuse_leg(/*use_template=*/false);
+    benchmark::DoNotOptimize(g_reuse_rebuild.m.ml_min);
+  }
+  state.counters["search_ms"] = g_reuse_rebuild.per_search_s * 1e3;
+  state.counters["allocs"] =
+      static_cast<double>(g_reuse_rebuild.allocs_per_search);
+}
+
+void BM_SearchTemplateRebind(benchmark::State& state) {
+  for (auto _ : state) {
+    g_reuse_rebind = run_reuse_leg(/*use_template=*/true);
+    benchmark::DoNotOptimize(g_reuse_rebind.m.ml_min);
+  }
+  state.counters["search_ms"] = g_reuse_rebind.per_search_s * 1e3;
+  state.counters["allocs"] =
+      static_cast<double>(g_reuse_rebind.allocs_per_search);
+}
+
+BENCHMARK(BM_SearchRebuildPerSearch)->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SearchTemplateRebind)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 double pct_delta(double test, double ref) {
   return ref != 0.0 ? 100.0 * (test - ref) / ref : 0.0;
 }
@@ -277,6 +368,60 @@ int main(int argc, char** argv) {
       g_ab_adaptive.m.newton_iters, g_ab_adaptive.wall_s * 1e3,
       g_ab_adaptive.m.latency * 1e12, g_ab_adaptive.m.energy * 1e12,
       step_ratio, wall_speedup, latency_delta, energy_delta);
+
+  const double reuse_speedup =
+      g_reuse_rebind.per_search_s > 0.0
+          ? g_reuse_rebuild.per_search_s / g_reuse_rebind.per_search_s
+          : 0.0;
+  const double alloc_ratio =
+      g_reuse_rebind.allocs_per_search > 0
+          ? static_cast<double>(g_reuse_rebuild.allocs_per_search) /
+                static_cast<double>(g_reuse_rebind.allocs_per_search)
+          : 0.0;
+  std::printf(
+      "Template reuse — 64-wide 3T2N row, %d searches per leg:\n"
+      "  rebuild per search (flat builder):  %.2f ms/search  %llu allocs\n"
+      "  rebind replay (elaborated template): %.2f ms/search  %llu allocs\n"
+      "  speedup: %.2fx   alloc ratio: %.0fx   instances elaborated during "
+      "replay: %llu   stamp patterns on replayed circuit: %zu\n",
+      kReuseSearches, g_reuse_rebuild.per_search_s * 1e3,
+      static_cast<unsigned long long>(g_reuse_rebuild.allocs_per_search),
+      g_reuse_rebind.per_search_s * 1e3,
+      static_cast<unsigned long long>(g_reuse_rebind.allocs_per_search),
+      reuse_speedup, alloc_ratio,
+      static_cast<unsigned long long>(g_reuse_rebind.instances_elaborated),
+      g_reuse_rebind.m.stamp_pattern_builds);
+
+  FILE* f5 = std::fopen("BENCH_pr5.json", "w");
+  if (f5 != nullptr) {
+    std::fprintf(
+        f5,
+        "{\n"
+        "  \"template_reuse_64wide\": {\n"
+        "    \"searches_per_leg\": %d,\n"
+        "    \"rebuild\": {\n"
+        "      \"search_ms\": %.6f,\n"
+        "      \"allocs_per_search\": %llu\n"
+        "    },\n"
+        "    \"rebind\": {\n"
+        "      \"search_ms\": %.6f,\n"
+        "      \"allocs_per_search\": %llu,\n"
+        "      \"instances_elaborated_during_replay\": %llu,\n"
+        "      \"stamp_pattern_builds\": %zu\n"
+        "    },\n"
+        "    \"speedup\": %.4f,\n"
+        "    \"alloc_ratio\": %.4f\n"
+        "  }\n"
+        "}\n",
+        kReuseSearches, g_reuse_rebuild.per_search_s * 1e3,
+        static_cast<unsigned long long>(g_reuse_rebuild.allocs_per_search),
+        g_reuse_rebind.per_search_s * 1e3,
+        static_cast<unsigned long long>(g_reuse_rebind.allocs_per_search),
+        static_cast<unsigned long long>(g_reuse_rebind.instances_elaborated),
+        g_reuse_rebind.m.stamp_pattern_builds, reuse_speedup, alloc_ratio);
+    std::fclose(f5);
+    std::printf("wrote BENCH_pr5.json\n");
+  }
 
   FILE* f2 = std::fopen("BENCH_pr2.json", "w");
   if (f2 != nullptr) {

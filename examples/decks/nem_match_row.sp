@@ -1,0 +1,29 @@
+Two-column NEM relay match row from one .subckt template
+* One relay compare cell per column. Ports: matchline, searchline pair.
+* Stored state arrives as relay flags + .ic on the scoped storage nodes;
+* the bleeders stand in for the off write transistors' DC leak path.
+.subckt relay_cell ml sl slb
+N1 slb stg1 gs 0
+N2 sl stg2 gs 0
+Ms ml gs 0 NMOS w=1.5
+C1 stg1 0 1f
+C2 stg2 0 1f
+R1 stg1 0 100g
+R2 stg2 0 100g
+.ends
+* ML precharged to VDD, released at 0.25 ns; SLs assert at 0.3 ns.
+Vpre ml 0 PWL(0 1 0.2n 1 0.25n 0)
+Csense ml 0 5f
+* Column 0 stores '1' (N1 closed via .ic below) and the key drives SL=1:
+* a match — the closed relay sees the grounded SLB, ML stays up.
+Vsl0 sl0 0 PWL(0 0 0.3n 0 0.32n 1)
+Vslb0 slb0 0 0
+* Column 1 stores 'X' (both relays open): never discharges the ML.
+Vsl1 sl1 0 0
+Vslb1 slb1 0 PWL(0 0 0.3n 0 0.32n 1)
+X0 ml sl0 slb0 relay_cell
+X1 ml sl1 slb1 relay_cell
+.ic v(ml)=1 v(x0.stg1)=0.9
+.tran 10p 2n
+.print v(ml) v(x0.gs) v(x1.gs)
+.end

@@ -34,6 +34,8 @@ class Diode final : public Device {
 
   const DiodeParams& params() const noexcept { return params_; }
 
+  void reset_state() override { cj_c_.reset(); }
+
  private:
   NodeId anode_, cathode_;
   DiodeParams params_;

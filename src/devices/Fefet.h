@@ -51,6 +51,16 @@ class Fefet final : public Device {
   double vth_eff() const noexcept;
   bool is_low_vth() const noexcept { return p_ > 0.0; }
 
+  void reset_state() override {
+    cgfe_c_.reset();
+    cgd_c_.reset();
+    cdb_c_.reset();
+    csb_c_.reset();
+    moving_ = false;
+    t_program_ = -1.0;
+    t_erase_ = -1.0;
+  }
+
   const FefetParams& params() const noexcept { return params_; }
 
  private:

@@ -25,6 +25,8 @@ class Inductor final : public Device {
   double current() const noexcept { return i_prev_; }
   void set_initial_current(double amps) { i_prev_ = amps; }
 
+  void reset_state() override { i_prev_ = 0.0; }
+
  private:
   NodeId a_, b_;
   double henries_;

@@ -78,6 +78,13 @@ class Mosfet final : public Device {
     params_.vth = params_.vth + delta_v < 0.01 ? 0.01 : params_.vth + delta_v;
   }
 
+  void reset_state() override {
+    cgs_c_.reset();
+    cgd_c_.reset();
+    cdb_c_.reset();
+    csb_c_.reset();
+  }
+
  private:
   NodeId d_, g_, s_;
   MosfetParams params_;

@@ -50,6 +50,11 @@ class Mtj final : public Device {
 
   const MtjParams& params() const noexcept { return params_; }
 
+  void reset_state() override {
+    t_par_ = -1.0;
+    t_ap_ = -1.0;
+  }
+
  private:
   NodeId top_, bottom_;
   MtjParams params_;

@@ -65,6 +65,14 @@ class NemRelay final : public Device {
   // experiment). Also snaps the gate charge to match a given V_GB.
   void set_state(bool closed, double v_gb = 0.0);
 
+  // Replay: drop the contact-arrival telemetry only. Mechanical position
+  // and gate charge are primary state (re-seeded via set_state by the
+  // transaction binder); fault pins (stuck_) persist on purpose.
+  void reset_state() override {
+    t_closed_ = -1.0;
+    t_opened_ = -1.0;
+  }
+
   // --- Fault-injection hooks (see fault/FaultInjector) ---
   // Welds the beam: stuck-closed models contact stiction/welding, stuck-
   // open a fractured beam. The mechanical state is pinned — actuation,

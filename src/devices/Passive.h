@@ -43,6 +43,8 @@ class Capacitor final : public Device {
   // Stored energy at the iterate, E = C·v²/2 (for ledgers/tests).
   double stored_energy(const StampContext& ctx) const;
 
+  void reset_state() override { i_prev_ = 0.0; }
+
  private:
   double current_at(const StampContext& ctx) const;
 
@@ -66,6 +68,9 @@ class CapCompanion {
   void commit(const StampContext& ctx, NodeId a, NodeId b);
 
   double capacitance() const noexcept { return farads_; }
+
+  // Drops the carried current history (owner's reset_state forwards here).
+  void reset() { i_prev_ = 0.0; }
 
  private:
   double current_at(const StampContext& ctx, NodeId a, NodeId b) const;

@@ -56,6 +56,12 @@ class Rram final : public Device {
   double resistance() const noexcept;
   bool low_resistance() const noexcept { return w_ > 0.5; }
 
+  void reset_state() override {
+    moving_ = false;
+    t_set_ = -1.0;
+    t_reset_ = -1.0;
+  }
+
   const RramParams& params() const noexcept { return params_; }
 
  private:

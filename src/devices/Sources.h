@@ -39,6 +39,11 @@ class VSource final : public Device {
   // across operations).
   void set_wave(std::unique_ptr<Waveform> wave);
 
+  bool rebind_wave(std::unique_ptr<Waveform> wave) override {
+    set_wave(std::move(wave));
+    return true;
+  }
+
  private:
   NodeId plus_, minus_;
   std::unique_ptr<Waveform> wave_;
@@ -57,6 +62,11 @@ class ISource final : public Device {
   spice::DeviceTopology topology() const override;
   double delivered_power(const StampContext& ctx) const override;
   std::vector<double> breakpoints(double t_end) const override;
+
+  bool rebind_wave(std::unique_ptr<Waveform> wave) override {
+    wave_ = std::move(wave);
+    return true;
+  }
 
  private:
   NodeId from_, to_;

@@ -62,13 +62,25 @@ Checker::CustomRule ml_fanin_rule(spice::NodeId ml, spice::NodeId vdd,
 Checker::CustomRule nem_pair_rule(core::TernaryWord word,
                                   std::string n1_prefix,
                                   std::string n2_prefix) {
-  return [word = std::move(word), n1_prefix = std::move(n1_prefix),
-          n2_prefix = std::move(n2_prefix)](spice::Circuit& ckt,
-                                            const NodeGraph&,
-                                            Report& report) {
+  return nem_pair_rule(
+      std::move(word),
+      [n1_prefix = std::move(n1_prefix)](std::size_t col) {
+        return n1_prefix + std::to_string(col);
+      },
+      [n2_prefix = std::move(n2_prefix)](std::size_t col) {
+        return n2_prefix + std::to_string(col);
+      });
+}
+
+Checker::CustomRule nem_pair_rule(core::TernaryWord word, RelayNamer n1_namer,
+                                  RelayNamer n2_namer) {
+  return [word = std::move(word), n1_namer = std::move(n1_namer),
+          n2_namer = std::move(n2_namer)](spice::Circuit& ckt,
+                                          const NodeGraph&,
+                                          Report& report) {
     for (std::size_t col = 0; col < word.size(); ++col) {
-      const std::string n1_name = n1_prefix + std::to_string(col);
-      const std::string n2_name = n2_prefix + std::to_string(col);
+      const std::string n1_name = n1_namer(col);
+      const std::string n2_name = n2_namer(col);
       const auto* n1 = dynamic_cast<const NemRelay*>(ckt.find(n1_name));
       const auto* n2 = dynamic_cast<const NemRelay*>(ckt.find(n2_name));
       if (n1 == nullptr || n2 == nullptr) {

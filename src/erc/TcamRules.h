@@ -21,10 +21,17 @@
 // facts (node ids, expected counts, the stored word) the builder knows.
 #pragma once
 
+#include <functional>
+
 #include "core/Ternary.h"
 #include "erc/Checker.h"
 
 namespace nemtcam::erc {
+
+// Maps a column index to a relay's device name. Lets the pair rule follow
+// either naming scheme: the legacy flat "<prefix><col>" or the
+// hierarchical instance path "Xcell<col>.N1" the template path produces.
+using RelayNamer = std::function<std::string(std::size_t col)>;
 
 // ML must reach `vdd` over DC-conductive edges (the precharge device).
 Checker::CustomRule ml_precharge_rule(spice::NodeId ml, spice::NodeId vdd);
@@ -44,6 +51,10 @@ Checker::CustomRule ml_fanin_rule(spice::NodeId ml, spice::NodeId vdd,
 Checker::CustomRule nem_pair_rule(core::TernaryWord word,
                                   std::string n1_prefix = "N1_",
                                   std::string n2_prefix = "N2_");
+
+// Same rule with caller-supplied name construction (hierarchical paths).
+Checker::CustomRule nem_pair_rule(core::TernaryWord word, RelayNamer n1_name,
+                                  RelayNamer n2_name);
 
 // Every NEM relay's hysteresis window must contain v_refresh strictly:
 // V_PO < V_R < V_PI (the one-shot-refresh hold condition).

@@ -11,21 +11,45 @@ namespace nemtcam::fault {
 
 namespace {
 
-// Parses the "<base>_<col>" naming convention; returns -1 when the name
-// has no trailing integer column suffix.
-int column_of(const std::string& name) {
-  const std::size_t us = name.rfind('_');
-  if (us == std::string::npos || us + 1 >= name.size()) return -1;
+// Parses a decimal column index out of [begin, end); returns -1 when the
+// range is empty or not all digits.
+int parse_col(const std::string& name, std::size_t begin, std::size_t end) {
+  if (begin >= end) return -1;
   int col = 0;
-  for (std::size_t i = us + 1; i < name.size(); ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     if (std::isdigit(static_cast<unsigned char>(name[i])) == 0) return -1;
     col = col * 10 + (name[i] - '0');
   }
   return col;
 }
 
+// Column index of a device under either naming convention: flat
+// "<base>_<col>" ("N1_3"), or hierarchical "Xcell<col>.<base>"
+// ("Xcell3.N1") as produced by the elaborated cell templates. Returns -1
+// when the name matches neither.
+int column_of(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    constexpr const char* kInst = "Xcell";
+    constexpr std::size_t kInstLen = 5;
+    if (name.rfind(kInst, 0) != 0) return -1;
+    return parse_col(name, kInstLen, dot);
+  }
+  const std::size_t us = name.rfind('_');
+  if (us == std::string::npos) return -1;
+  return parse_col(name, us + 1, name.size());
+}
+
+// Local (scope-stripped) device name: everything after the last '.'.
+std::string local_name(const std::string& name) {
+  const std::size_t dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
 bool is_target_relay(const std::string& name, bool on_n1) {
-  return name.rfind(on_n1 ? "N1_" : "N2_", 0) == 0;
+  const char* base = on_n1 ? "N1" : "N2";
+  if (name.find('.') != std::string::npos) return local_name(name) == base;
+  return name.rfind(std::string(base) + "_", 0) == 0;
 }
 
 }  // namespace

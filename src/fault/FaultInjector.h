@@ -1,13 +1,15 @@
 // Applies drawn FaultSpecs to a built circuit by device-name convention.
 //
-// The TCAM fixtures name per-column devices "<base>_<col>" ("N1_3",
-// "Tw1_0", "Ts_7", …). The injector walks the circuit's device list,
-// parses the trailing column index, and mutates the matching devices in
-// place through the fault hooks (NemRelay::force_stuck /
-// set_contact_resistance / set_gate_leakage, Mosfet::shift_vth) — the
-// AssemblyCache's recorded stamp pattern is unaffected because the hooks
-// only change stamp *values* (a stuck-open relay with g_off = 0 still
-// stamps its zero into its recorded slots).
+// Two naming conventions are understood. The legacy flat fixtures name
+// per-column devices "<base>_<col>" ("N1_3", "Tw1_0", "Ts_7", …); the
+// hierarchical cell templates scope them under their instance as
+// "Xcell<col>.<base>" ("Xcell3.N1"). The injector walks the circuit's
+// device list, parses the column index from either form, and mutates the
+// matching devices in place through the fault hooks
+// (NemRelay::force_stuck / set_contact_resistance / set_gate_leakage,
+// Mosfet::shift_vth) — the AssemblyCache's recorded stamp pattern is
+// unaffected because the hooks only change stamp *values* (a stuck-open
+// relay with g_off = 0 still stamps its zero into its recorded slots).
 #pragma once
 
 #include <vector>

@@ -1,0 +1,14 @@
+#include "hier/Subckt.h"
+
+namespace nemtcam::hier {
+
+bool Library::add(SubcktDef def) {
+  return defs_.emplace(def.name, std::move(def)).second;
+}
+
+const SubcktDef* Library::find(const std::string& name) const {
+  const auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace nemtcam::hier

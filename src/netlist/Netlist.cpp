@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
 #include <map>
 #include <sstream>
 
@@ -15,6 +16,7 @@
 #include "devices/Rram.h"
 #include "devices/Sources.h"
 #include "devices/Switch.h"
+#include "hier/Elaborate.h"
 #include "spice/Waveform.h"
 
 namespace nemtcam::spice {
@@ -64,10 +66,7 @@ bool split_kv(const std::string& tok, std::string& key, std::string& value) {
 }
 
 struct Parser {
-  Circuit& ckt;
   int line_no = 0;
-
-  NodeId node(const std::string& name) { return ckt.node(lower(name)); }
 
   double num(const std::string& tok) {
     try {
@@ -121,6 +120,215 @@ struct Parser {
   }
 };
 
+// Current-controlled sources need their controlling V element; top-level
+// cards are collected and resolved after the first pass.
+struct Deferred {
+  int line_no;
+  std::vector<std::string> tokens;
+};
+
+// Adds one element card to `circuit`. `resolve` maps a raw node token to a
+// NodeId (the caller decides the namespace: global for top-level cards,
+// instance-scoped during subckt elaboration); `prefix` scopes the device
+// name ("x1." inside instance x1). F/H cards are deferred via `deferred`
+// when non-null and rejected otherwise — a subckt body cannot name a
+// controlling element across scopes. Returns the constructed device
+// (nullptr for a deferred card).
+Device* add_element_card(
+    Parser& p, Circuit& circuit, const std::vector<std::string>& tokens,
+    const std::string& prefix,
+    const std::function<NodeId(const std::string&)>& resolve,
+    std::vector<Deferred>* deferred) {
+  const std::string head = lower(tokens[0]);
+  const char kind = head[0];
+  const std::string name = prefix + tokens[0];
+  auto node = [&](const std::string& tok) { return resolve(tok); };
+  auto need = [&](std::size_t n) {
+    if (tokens.size() < n) fail(p.line_no, "too few fields for " + tokens[0]);
+  };
+
+  switch (kind) {
+    case 'r': {
+      need(4);
+      return &circuit.add<Resistor>(name, node(tokens[1]), node(tokens[2]),
+                                    p.num(tokens[3]));
+    }
+    case 'c': {
+      need(4);
+      return &circuit.add<Capacitor>(name, node(tokens[1]), node(tokens[2]),
+                                     p.num(tokens[3]));
+    }
+    case 'l': {
+      need(4);
+      return &circuit.add<Inductor>(name, node(tokens[1]), node(tokens[2]),
+                                    p.num(tokens[3]));
+    }
+    case 'd': {
+      need(3);
+      DiodeParams dp;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) continue;
+        if (key == "is") dp.i_sat = p.num(value);
+        else if (key == "n") dp.n_ideality = p.num(value);
+        else fail(p.line_no, "unknown diode parameter '" + key + "'");
+      }
+      return &circuit.add<Diode>(name, node(tokens[1]), node(tokens[2]), dp);
+    }
+    case 'v': {
+      need(4);
+      return &circuit.add<VSource>(name, node(tokens[1]), node(tokens[2]),
+                                   p.waveform(tokens, 3));
+    }
+    case 'i': {
+      need(4);
+      return &circuit.add<ISource>(name, node(tokens[1]), node(tokens[2]),
+                                   p.waveform(tokens, 3));
+    }
+    case 'm': {
+      need(5);
+      const std::string type = lower(tokens[4]);
+      double w = 1.0;
+      double vth = -1.0;
+      for (std::size_t i = 5; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (!split_kv(tokens[i], key, value)) continue;
+        if (key == "w") w = p.num(value);
+        else if (key == "vth") vth = p.num(value);
+        else fail(p.line_no, "unknown MOSFET parameter '" + key + "'");
+      }
+      MosfetParams mp = type == "pmos" ? MosfetParams::pmos_lp(w)
+                                       : MosfetParams::nmos_lp(w);
+      if (type != "nmos" && type != "pmos")
+        fail(p.line_no, "MOSFET type must be NMOS or PMOS");
+      if (vth > 0.0) mp.vth = vth;
+      return &circuit.add<Mosfet>(name, node(tokens[1]), node(tokens[2]),
+                                  node(tokens[3]), mp);
+    }
+    case 'e': {
+      need(6);
+      return &circuit.add<Vcvs>(name, node(tokens[1]), node(tokens[2]),
+                                node(tokens[3]), node(tokens[4]),
+                                p.num(tokens[5]));
+    }
+    case 'g': {
+      need(6);
+      return &circuit.add<Vccs>(name, node(tokens[1]), node(tokens[2]),
+                                node(tokens[3]), node(tokens[4]),
+                                p.num(tokens[5]));
+    }
+    case 'f':
+    case 'h': {
+      need(5);
+      if (deferred == nullptr)
+        fail(p.line_no,
+             "current-controlled source '" + tokens[0] +
+                 "' is not supported inside a .subckt body (the controlling "
+                 "element lives in another scope)");
+      deferred->push_back({p.line_no, tokens});
+      return nullptr;
+    }
+    case 's': {
+      need(3);
+      double ron = 1.0, roff = 1e12;
+      bool closed = false;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (split_kv(tokens[i], key, value)) {
+          if (key == "ron") ron = p.num(value);
+          else if (key == "roff") roff = p.num(value);
+          else fail(p.line_no, "unknown switch parameter '" + key + "'");
+        } else if (lower(tokens[i]) == "on") {
+          closed = true;
+        } else if (lower(tokens[i]) == "off") {
+          closed = false;
+        }
+      }
+      return &circuit.add<Switch>(name, node(tokens[1]), node(tokens[2]), ron,
+                                  roff, closed);
+    }
+    case 'n': {
+      need(5);
+      NemRelayParams np;
+      bool closed = false;
+      for (std::size_t i = 5; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (split_kv(tokens[i], key, value)) {
+          if (key == "vpi") np.v_pi = p.num(value);
+          else if (key == "vpo") np.v_po = p.num(value);
+          else if (key == "ron") np.r_on = p.num(value);
+          else if (key == "con") np.c_on = p.num(value);
+          else if (key == "coff") np.c_off = p.num(value);
+          else if (key == "taumech") np.tau_mech = p.num(value);
+          else fail(p.line_no, "unknown relay parameter '" + key + "'");
+        } else if (lower(tokens[i]) == "closed") {
+          closed = true;
+        }
+      }
+      auto& relay = circuit.add<NemRelay>(name, node(tokens[1]),
+                                          node(tokens[2]), node(tokens[3]),
+                                          node(tokens[4]), np);
+      if (closed) relay.set_state(true);
+      return &relay;
+    }
+    case 'z': {
+      need(3);
+      double state = 0.0;
+      for (std::size_t i = 3; i < tokens.size(); ++i) {
+        std::string key, value;
+        if (split_kv(tokens[i], key, value) && key == "state")
+          state = p.num(value);
+      }
+      auto& rram = circuit.add<Rram>(name, node(tokens[1]), node(tokens[2]));
+      rram.set_state(state);
+      return &rram;
+    }
+    case 'q': {
+      need(4);
+      FefetParams fp;
+      auto& fefet = circuit.add<Fefet>(name, node(tokens[1]), node(tokens[2]),
+                                       node(tokens[3]), fp);
+      for (std::size_t i = 4; i < tokens.size(); ++i) {
+        const std::string flag = lower(tokens[i]);
+        if (flag == "low") fefet.set_low_vth(true);
+        else if (flag == "high") fefet.set_low_vth(false);
+      }
+      return &fefet;
+    }
+    default:
+      fail(p.line_no, "unknown element '" + tokens[0] + "'");
+  }
+}
+
+// Parses "Xname n1 n2 ... subname [k=v ...]" into an Instance. Parameter
+// override values are evaluated against `env` (so "{p}" from an enclosing
+// .param works at top level).
+hier::Instance parse_x_card(Parser& p, const std::vector<std::string>& tokens,
+                            const hier::ParamEnv& env) {
+  hier::Instance inst;
+  inst.name = lower(tokens[0]);
+  std::size_t end = tokens.size();
+  while (end > 1 && tokens[end - 1].find('=') != std::string::npos) --end;
+  if (end < 3)
+    fail(p.line_no, "X card needs at least a subckt name: X<name> "
+                    "[nodes...] <subckt> [param=value...]");
+  inst.subckt = lower(tokens[end - 1]);
+  for (std::size_t i = 1; i + 1 < end; ++i)
+    inst.bindings.push_back(lower(tokens[i]));
+  for (std::size_t i = end; i < tokens.size(); ++i) {
+    std::string key, value;
+    if (!split_kv(tokens[i], key, value))
+      fail(p.line_no, "bad X parameter '" + tokens[i] + "'");
+    try {
+      inst.param_overrides[key] =
+          p.num(hier::substitute_params(value, env));
+    } catch (const hier::ElaborateError& e) {
+      fail(p.line_no, e.what());
+    }
+  }
+  return inst;
+}
+
 }  // namespace
 
 double parse_spice_number(const std::string& token) {
@@ -139,16 +347,25 @@ double parse_spice_number(const std::string& token) {
       {"t", 1e12}, {"g", 1e9},   {"meg", 1e6}, {"k", 1e3},  {"m", 1e-3},
       {"u", 1e-6}, {"n", 1e-9},  {"p", 1e-12}, {"f", 1e-15}, {"a", 1e-18},
   };
-  // Allow trailing unit letters after a known suffix ("2.2nF", "1kohm").
+  // SPICE rules: the scale suffix is case-insensitive ("1M" ≡ "1m" ≡
+  // milli; only "meg"/"MEG" is 1e6). Trailing *unit letters* after a
+  // recognized suffix are tolerated ("2.2nF", "1kOhm"); anything
+  // containing further digits ("1k5", "1.5meg2") is rejected instead of
+  // silently dropping the tail.
   for (const auto& [sfx, scale] : kScale) {
     if (suffix.rfind(sfx, 0) == 0) {
       // "m" must not shadow "meg".
       if (sfx == "m" && suffix.rfind("meg", 0) == 0) continue;
+      const std::string rest = suffix.substr(sfx.size());
+      if (!std::all_of(rest.begin(), rest.end(), [](unsigned char c) {
+            return std::isalpha(c);
+          }))
+        throw NetlistError("invalid number '" + token +
+                           "': garbage after scale suffix '" + sfx + "'");
       return base * scale;
     }
   }
-  // Pure unit letters (V, s, ohm, f?) — 'f' is femto by SPICE convention,
-  // already handled; anything alphabetic left is treated as a unit.
+  // Pure unit letters (V, s, ohm) — anything alphabetic left is a unit.
   if (std::all_of(suffix.begin(), suffix.end(), [](unsigned char c) {
         return std::isalpha(c);
       }))
@@ -159,20 +376,39 @@ double parse_spice_number(const std::string& token) {
 ParsedNetlist parse_netlist(const std::string& text) {
   ParsedNetlist out;
   out.circuit = std::make_unique<Circuit>();
-  Parser p{*out.circuit};
+  Parser p{};
 
   std::istringstream is(text);
   std::string raw;
   bool first = true;
   bool ended = false;
-  // Controlled sources need the V element they reference; collect deferred
-  // lines and resolve after the first pass.
-  struct Deferred {
-    int line_no;
-    std::vector<std::string> tokens;
-  };
   std::vector<Deferred> deferred;
   std::map<std::string, Device*> by_name;
+
+  hier::Library library;
+  hier::ParamEnv global_params;
+  // Top-level X instances are elaborated after the whole deck is read so a
+  // .subckt may appear after its first use.
+  struct PendingInstance {
+    int line_no;
+    hier::Instance inst;
+  };
+  std::vector<PendingInstance> instances;
+  // .print names validated after elaboration (hierarchical nodes only
+  // exist once their instance is flattened).
+  struct PrintRef {
+    int line_no;
+    std::string name;
+  };
+  std::vector<PrintRef> print_refs;
+
+  // In-progress .subckt collection (no nesting).
+  hier::SubcktDef* open_subckt = nullptr;
+  int open_subckt_line = 0;
+
+  const auto resolve_global = [&](const std::string& tok) {
+    return out.circuit->node(lower(tok));
+  };
 
   while (std::getline(is, raw)) {
     ++p.line_no;
@@ -187,10 +423,37 @@ ParsedNetlist parse_netlist(const std::string& text) {
     if (const auto sc = line.find(';'); sc != std::string::npos)
       line.resize(sc);
     if (!line.empty() && line[0] == '*') continue;
-    const auto tokens = tokenize(line);
+    auto tokens = tokenize(line);
     if (tokens.empty()) continue;
 
     const std::string head = lower(tokens[0]);
+
+    // Inside a .subckt body: collect cards verbatim ({param} substitution
+    // happens per instance at elaboration time).
+    if (open_subckt != nullptr && head != ".ends") {
+      if (head == ".end")
+        fail(open_subckt_line,
+             ".subckt '" + open_subckt->name + "' is never closed by .ends");
+      if (head[0] == '.')
+        fail(p.line_no, "directive '" + tokens[0] +
+                            "' is not allowed inside .subckt '" +
+                            open_subckt->name + "'");
+      if (head[0] == 'x') {
+        open_subckt->sub(parse_x_card(p, tokens, open_subckt->params));
+      } else {
+        open_subckt->text(tokens, p.line_no);
+      }
+      continue;
+    }
+
+    // Top level: apply .param substitution before interpreting the card.
+    if (!global_params.empty()) {
+      try {
+        for (auto& t : tokens) t = hier::substitute_params(t, global_params);
+      } catch (const hier::ElaborateError& e) {
+        fail(p.line_no, e.what());
+      }
+    }
 
     if (head[0] == '.') {
       if (head == ".end") {
@@ -210,7 +473,7 @@ ParsedNetlist parse_netlist(const std::string& text) {
           if (i + 2 >= tokens.size() || lower(tokens[i]) != "v" ||
               tokens[i + 2].empty() || tokens[i + 2][0] != '=')
             fail(p.line_no, ".ic expects v(node)=value");
-          out.circuit->set_ic(p.node(tokens[i + 1]),
+          out.circuit->set_ic(out.circuit->node(lower(tokens[i + 1])),
                               p.num(tokens[i + 2].substr(1)));
           i += 3;
         }
@@ -218,187 +481,66 @@ ParsedNetlist parse_netlist(const std::string& text) {
         // .print v(node) [v(node)…] → tokens "v" <node> repeated.
         for (std::size_t i = 1; i < tokens.size();) {
           if (lower(tokens[i]) == "v" && i + 1 < tokens.size()) {
-            out.print_nodes.push_back(lower(tokens[i + 1]));
+            print_refs.push_back({p.line_no, lower(tokens[i + 1])});
             i += 2;
           } else {
-            out.print_nodes.push_back(lower(tokens[i]));
+            print_refs.push_back({p.line_no, lower(tokens[i])});
             ++i;
           }
         }
+      } else if (head == ".param") {
+        // .param name=value [name=value …]; later .params may reference
+        // earlier ones by {name}.
+        if (tokens.size() < 2) fail(p.line_no, ".param name=value");
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (!split_kv(tokens[i], key, value))
+            fail(p.line_no, ".param expects name=value, got '" + tokens[i] +
+                                "'");
+          global_params[key] = p.num(value);
+        }
+      } else if (head == ".subckt") {
+        if (tokens.size() < 2) fail(p.line_no, ".subckt <name> [ports...]");
+        hier::SubcktDef def;
+        def.name = lower(tokens[1]);
+        for (std::size_t i = 2; i < tokens.size(); ++i) {
+          std::string key, value;
+          if (split_kv(tokens[i], key, value)) {
+            def.params[key] = p.num(value);  // parameter default
+          } else {
+            def.ports.push_back(lower(tokens[i]));
+          }
+        }
+        if (!library.add(std::move(def)))
+          fail(p.line_no, "subckt '" + lower(tokens[1]) + "' redefined");
+        // Library::add moved the def; reopen it for card collection.
+        open_subckt =
+            const_cast<hier::SubcktDef*>(library.find(lower(tokens[1])));
+        open_subckt_line = p.line_no;
+      } else if (head == ".ends") {
+        if (open_subckt == nullptr)
+          fail(p.line_no, ".ends without an open .subckt");
+        open_subckt = nullptr;
       } else {
         fail(p.line_no, "unsupported directive '" + tokens[0] + "'");
       }
       continue;
     }
 
-    const char kind = head[0];
-    const std::string name = tokens[0];
-    auto need = [&](std::size_t n) {
-      if (tokens.size() < n) fail(p.line_no, "too few fields for " + name);
-    };
-
-    switch (kind) {
-      case 'r': {
-        need(4);
-        by_name[lower(name)] = &out.circuit->add<Resistor>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.num(tokens[3]));
-        break;
-      }
-      case 'c': {
-        need(4);
-        by_name[lower(name)] = &out.circuit->add<Capacitor>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.num(tokens[3]));
-        break;
-      }
-      case 'l': {
-        need(4);
-        by_name[lower(name)] = &out.circuit->add<Inductor>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.num(tokens[3]));
-        break;
-      }
-      case 'd': {
-        need(3);
-        DiodeParams dp;
-        for (std::size_t i = 3; i < tokens.size(); ++i) {
-          std::string key, value;
-          if (!split_kv(tokens[i], key, value)) continue;
-          if (key == "is") dp.i_sat = p.num(value);
-          else if (key == "n") dp.n_ideality = p.num(value);
-          else fail(p.line_no, "unknown diode parameter '" + key + "'");
-        }
-        by_name[lower(name)] = &out.circuit->add<Diode>(
-            name, p.node(tokens[1]), p.node(tokens[2]), dp);
-        break;
-      }
-      case 'v': {
-        need(4);
-        by_name[lower(name)] = &out.circuit->add<VSource>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.waveform(tokens, 3));
-        break;
-      }
-      case 'i': {
-        need(4);
-        by_name[lower(name)] = &out.circuit->add<ISource>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.waveform(tokens, 3));
-        break;
-      }
-      case 'm': {
-        need(5);
-        const std::string type = lower(tokens[4]);
-        double w = 1.0;
-        double vth = -1.0;
-        for (std::size_t i = 5; i < tokens.size(); ++i) {
-          std::string key, value;
-          if (!split_kv(tokens[i], key, value)) continue;
-          if (key == "w") w = p.num(value);
-          else if (key == "vth") vth = p.num(value);
-          else fail(p.line_no, "unknown MOSFET parameter '" + key + "'");
-        }
-        MosfetParams mp = type == "pmos" ? MosfetParams::pmos_lp(w)
-                                         : MosfetParams::nmos_lp(w);
-        if (type != "nmos" && type != "pmos")
-          fail(p.line_no, "MOSFET type must be NMOS or PMOS");
-        if (vth > 0.0) mp.vth = vth;
-        by_name[lower(name)] = &out.circuit->add<Mosfet>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]), mp);
-        break;
-      }
-      case 'e': {
-        need(6);
-        by_name[lower(name)] = &out.circuit->add<Vcvs>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]),
-            p.node(tokens[4]), p.num(tokens[5]));
-        break;
-      }
-      case 'g': {
-        need(6);
-        by_name[lower(name)] = &out.circuit->add<Vccs>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]),
-            p.node(tokens[4]), p.num(tokens[5]));
-        break;
-      }
-      case 'f':
-      case 'h': {
-        need(5);
-        deferred.push_back({p.line_no, tokens});
-        break;
-      }
-      case 's': {
-        need(3);
-        double ron = 1.0, roff = 1e12;
-        bool closed = false;
-        for (std::size_t i = 3; i < tokens.size(); ++i) {
-          std::string key, value;
-          if (split_kv(tokens[i], key, value)) {
-            if (key == "ron") ron = p.num(value);
-            else if (key == "roff") roff = p.num(value);
-            else fail(p.line_no, "unknown switch parameter '" + key + "'");
-          } else if (lower(tokens[i]) == "on") {
-            closed = true;
-          } else if (lower(tokens[i]) == "off") {
-            closed = false;
-          }
-        }
-        by_name[lower(name)] = &out.circuit->add<Switch>(
-            name, p.node(tokens[1]), p.node(tokens[2]), ron, roff, closed);
-        break;
-      }
-      case 'n': {
-        need(5);
-        NemRelayParams np;
-        bool closed = false;
-        for (std::size_t i = 5; i < tokens.size(); ++i) {
-          std::string key, value;
-          if (split_kv(tokens[i], key, value)) {
-            if (key == "vpi") np.v_pi = p.num(value);
-            else if (key == "vpo") np.v_po = p.num(value);
-            else if (key == "ron") np.r_on = p.num(value);
-            else if (key == "con") np.c_on = p.num(value);
-            else if (key == "coff") np.c_off = p.num(value);
-            else if (key == "taumech") np.tau_mech = p.num(value);
-            else fail(p.line_no, "unknown relay parameter '" + key + "'");
-          } else if (lower(tokens[i]) == "closed") {
-            closed = true;
-          }
-        }
-        auto& relay = out.circuit->add<NemRelay>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]),
-            p.node(tokens[4]), np);
-        if (closed) relay.set_state(true);
-        by_name[lower(name)] = &relay;
-        break;
-      }
-      case 'z': {
-        need(3);
-        double state = 0.0;
-        for (std::size_t i = 3; i < tokens.size(); ++i) {
-          std::string key, value;
-          if (split_kv(tokens[i], key, value) && key == "state")
-            state = p.num(value);
-        }
-        auto& rram = out.circuit->add<Rram>(name, p.node(tokens[1]),
-                                            p.node(tokens[2]));
-        rram.set_state(state);
-        by_name[lower(name)] = &rram;
-        break;
-      }
-      case 'q': {
-        need(4);
-        FefetParams fp;
-        auto& fefet = out.circuit->add<Fefet>(
-            name, p.node(tokens[1]), p.node(tokens[2]), p.node(tokens[3]), fp);
-        for (std::size_t i = 4; i < tokens.size(); ++i) {
-          const std::string flag = lower(tokens[i]);
-          if (flag == "low") fefet.set_low_vth(true);
-          else if (flag == "high") fefet.set_low_vth(false);
-        }
-        by_name[lower(name)] = &fefet;
-        break;
-      }
-      default:
-        fail(p.line_no, "unknown element '" + name + "'");
+    if (head[0] == 'x') {
+      instances.push_back({p.line_no, parse_x_card(p, tokens, global_params)});
+      continue;
     }
+
+    Device* dev =
+        add_element_card(p, *out.circuit, tokens, "", resolve_global,
+                         &deferred);
+    if (dev != nullptr) by_name[lower(tokens[0])] = dev;
   }
+
+  if (open_subckt != nullptr)
+    fail(open_subckt_line,
+         ".subckt '" + open_subckt->name + "' is never closed by .ends");
 
   // Resolve current-controlled sources now that all V elements exist.
   for (const auto& d : deferred) {
@@ -408,12 +550,50 @@ ParsedNetlist parse_netlist(const std::string& text) {
     if (it == by_name.end() || it->second->branch_count() == 0)
       fail(d.line_no, "controlling element '" + t[3] + "' not found or has no branch");
     if (lower(t[0])[0] == 'f') {
-      out.circuit->add<Cccs>(t[0], p.node(t[1]), p.node(t[2]), *it->second,
+      out.circuit->add<Cccs>(t[0], out.circuit->node(lower(t[1])),
+                             out.circuit->node(lower(t[2])), *it->second,
                              p.num(t[4]));
     } else {
-      out.circuit->add<Ccvs>(t[0], p.node(t[1]), p.node(t[2]), *it->second,
+      out.circuit->add<Ccvs>(t[0], out.circuit->node(lower(t[1])),
+                             out.circuit->node(lower(t[2])), *it->second,
                              p.num(t[4]));
     }
+  }
+
+  // Flatten the X instances. The emitter routes every text card back
+  // through the shared element grammar with instance-scoped names.
+  if (!instances.empty()) {
+    hier::ElaborateOptions eopts;
+    eopts.text_emitter = [](Circuit& ckt, const hier::TextCardRequest& req,
+                            const hier::NodeResolver& resolve) -> Device* {
+      Parser sub_p{};
+      sub_p.line_no = req.line_no;
+      const std::string prefix =
+          req.scope.empty() ? std::string() : req.scope + ".";
+      return add_element_card(
+          sub_p, ckt, req.tokens, prefix,
+          [&](const std::string& tok) { return resolve(lower(tok)); },
+          /*deferred=*/nullptr);
+    };
+    for (const auto& pending : instances) {
+      try {
+        hier::elaborate(*out.circuit, library, pending.inst, global_params,
+                        "", eopts);
+      } catch (const hier::ElaborateError& e) {
+        fail(pending.line_no, e.what());
+      } catch (const NetlistError&) {
+        throw;  // already line-attributed by the text emitter
+      }
+    }
+  }
+
+  // .print names must exist somewhere in the elaborated deck — a silent
+  // no-op trace helps nobody debug a typo.
+  for (const auto& ref : print_refs) {
+    if (!out.circuit->has_node(ref.name))
+      fail(ref.line_no,
+           ".print v(" + ref.name + "): node never appears in the deck");
+    out.print_nodes.push_back(ref.name);
   }
 
   return out;

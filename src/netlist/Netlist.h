@@ -22,9 +22,24 @@
 //       Zname top bottom [state=<0..1>]                        (RRAM)
 //       Qname d g s [low|high]                                 (FeFET)
 //   * directives: .tran <dt_max> <t_end>   .op   .ic v(node)=<V>
-//                 .print v(node) [v(node)...]   .end
+//                 .print v(node) [v(node)...]   .param name=<value> ...
+//                 .end
+//   * hierarchy:
+//       .subckt <name> port... [param=default...]
+//         <element cards, X cards>        (no directives, no nesting)
+//       .ends
+//       Xinst n1 n2 ... <subckt> [param=value...]
+//     Instances flatten through hier::elaborate(); inner devices and nodes
+//     get dotted scoped names ("x1.n1"), ports bind to the caller's nodes,
+//     and "{param}" references inside body cards substitute per instance.
+//     A .subckt may be defined after its first use; X cards resolve at
+//     the end of the deck. .print names are validated then — referencing
+//     a node that never appears is a line-numbered NetlistError, not a
+//     silent no-op.
 //   * engineering suffixes on numbers: t g meg k m u n p f a (e.g. 2.5n,
-//     100meg, 20a)
+//     100meg, 20a). "1M" and "1m" are both milli — only "meg"/"MEG" is
+//     1e6. Trailing unit letters are tolerated ("2.2nF"); trailing digits
+//     after a suffix ("1k5") are rejected.
 //
 // Numbers are parsed with `parse_spice_number`, exposed for reuse.
 #pragma once

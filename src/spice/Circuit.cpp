@@ -26,6 +26,22 @@ Device* Circuit::find(const std::string& name) {
   return nullptr;
 }
 
+bool Circuit::has_node(const std::string& name) const {
+  if (name == "0" || name == "gnd" || name == "GND") return true;
+  return name_to_id_.count(name) > 0;
+}
+
+bool Circuit::rebind_source(const std::string& name,
+                            std::unique_ptr<Waveform> wave) {
+  Device* dev = find(name);
+  if (dev == nullptr) return false;
+  return dev->rebind_wave(std::move(wave));
+}
+
+void Circuit::reset_device_states() {
+  for (const auto& dev : devices_) dev->reset_state();
+}
+
 const std::string& Circuit::node_name(NodeId n) const {
   if (n == kGround) return kGroundName;
   NEMTCAM_EXPECT(n >= 1 && static_cast<std::size_t>(n) <= names_.size());

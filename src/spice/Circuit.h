@@ -55,6 +55,21 @@ class Circuit {
   // First device with the given instance name, or nullptr.
   Device* find(const std::string& name);
 
+  // True when a node with this name already exists (without creating it);
+  // "0"/"gnd"/"GND" always exist as ground.
+  bool has_node(const std::string& name) const;
+
+  // Replaces the drive waveform of the named source device in place (see
+  // Device::rebind_wave). Returns false when no device has that name or
+  // the device is not a source. Does not bump the topology revision, so
+  // the cached stamp pattern and symbolic LU survive — this is the
+  // transaction-replay fast path used by the hier template cache.
+  bool rebind_source(const std::string& name, std::unique_ptr<Waveform> wave);
+
+  // Calls reset_state() on every device: clears per-run scratch so the
+  // same elaborated circuit can run another transaction from t = 0.
+  void reset_device_states();
+
   // Name of a node id ("0" for ground).
   const std::string& node_name(NodeId n) const;
 

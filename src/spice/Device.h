@@ -8,10 +8,12 @@
 #pragma once
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "spice/Types.h"
+#include "spice/Waveform.h"
 #include "util/Expect.h"
 
 namespace nemtcam::spice {
@@ -150,6 +152,26 @@ class Device {
   virtual double event_function(const StampContext& ctx) const {
     (void)ctx;
     return std::numeric_limits<double>::infinity();
+  }
+
+  // Clears per-run dynamic scratch — companion-model current history,
+  // event telemetry (t_closed/t_set/... markers), in-flight motion flags —
+  // so an elaborated circuit can be replayed for a fresh transaction
+  // starting at t = 0. Primary state (stored data, drive waveforms, device
+  // parameters, fault mutations) is untouched; the transaction binder
+  // re-seeds stored state explicitly. Devices without scratch need not
+  // override.
+  virtual void reset_state() {}
+
+  // Replaces the device's drive waveform in place; returns false for
+  // devices without one (only the independent sources accept it). This is
+  // deliberately NOT a topology change: the stamp pattern and symbolic LU
+  // recorded by the circuit's AssemblyCache stay valid, which is what lets
+  // a cached template circuit be re-driven per transaction instead of
+  // rebuilt (see hier/Elaborate.h).
+  virtual bool rebind_wave(std::unique_ptr<Waveform> wave) {
+    (void)wave;
+    return false;
   }
 
   // Instantaneous dissipated power at the given solution, for breakdowns.

@@ -6,9 +6,11 @@
 #include "devices/Passive.h"
 #include "devices/Sources.h"
 #include "erc/TcamRules.h"
+#include "hier/Elaborate.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/SearchTemplate.h"
 
 namespace nemtcam::tcam {
 
@@ -37,6 +39,43 @@ Dtcam5TRow::StoredLevels Dtcam5TRow::levels_for(Ternary t) const {
 
 SearchMetrics Dtcam5TRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
+  if (hier::default_enabled()) {
+    if (!search_tpl_) {
+      SearchTemplateSpec spec;
+      spec.cal = c;
+      spec.geo = kGeo;
+      spec.cell.name = "dtcam5t_cell";
+      spec.cell.ports = {"ml", "sl", "slb", "bl", "blb", "wl"};
+      const auto fet = [](MosfetParams mp) {
+        return [mp](Circuit& k, const std::string& n,
+                    const std::vector<NodeId>& nd,
+                    const hier::ParamEnv&) -> spice::Device& {
+          return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
+        };
+      };
+      spec.cell.emit("Tw1", {"stg1", "wl", "bl"}, fet(c.nem_write_nmos()));
+      spec.cell.emit("Tw2", {"stg2", "wl", "blb"}, fet(c.nem_write_nmos()));
+      const MosfetParams cmp = MosfetParams::nmos_lp(c.w_sram_cmp);
+      spec.cell.emit("Mc1", {"ml", "stg1", "cmpa"}, fet(cmp));
+      spec.cell.emit("Mc2", {"cmpa", "slb", "0"}, fet(cmp));
+      spec.cell.emit("Mc3", {"ml", "stg2", "cmpb"}, fet(cmp));
+      spec.cell.emit("Mc4", {"cmpb", "sl", "0"}, fet(cmp));
+      spec.bind = [this](Circuit& ckt, const hier::InstanceHandles& cell,
+                         Ternary t) {
+        const StoredLevels lv = levels_for(t);
+        ckt.set_ic(cell.node_at("stg1"), lv.v1);
+        ckt.set_ic(cell.node_at("stg2"), lv.v2);
+      };
+      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
+        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * w));
+      };
+      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
+                                                     array_rows());
+    }
+    return search_tpl_->search(key, stored_,
+                               c.t_strobe_sram * strobe_scale() * 1.5);
+  }
+
   SearchFixture fx(c, kGeo, width(), array_rows(), key);
   Circuit& ckt = fx.circuit();
 

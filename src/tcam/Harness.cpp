@@ -90,6 +90,20 @@ SearchFixture::SearchFixture(const Calibration& cal, const CellGeometry& geo,
   checker_.add_rule(erc::ml_precharge_rule(ml_, vdd_));
 }
 
+void SearchFixture::rebind_key(const core::TernaryWord& key) {
+  NEMTCAM_EXPECT(key.size() == sl_.size());
+  for (std::size_t i = 0; i < sl_.size(); ++i) {
+    const core::Ternary k = key[i];
+    const double v_sl = (k == core::Ternary::One) ? cal_.vdd : 0.0;
+    const double v_slb = (k == core::Ternary::Zero) ? cal_.vdd : 0.0;
+    const std::string sfx = std::to_string(i);
+    NEMTCAM_EXPECT(circuit_.rebind_source("Vdrv_sl" + sfx,
+                                          step_wave(0.0, v_sl, t_edge_)));
+    NEMTCAM_EXPECT(circuit_.rebind_source("Vdrv_slb" + sfx,
+                                          step_wave(0.0, v_slb, t_edge_)));
+  }
+}
+
 const erc::Report& SearchFixture::check() {
   if (!report_.has_value()) report_ = checker_.run(circuit_);
   return *report_;
@@ -112,8 +126,9 @@ spice::TransientResult SearchFixture::run(double dt_max) {
 }
 
 SearchMetrics SearchFixture::metrics(const spice::TransientResult& result,
-                                     double strobe_delay) const {
+                                     double strobe_delay) {
   SearchMetrics m;
+  m.stamp_pattern_builds = circuit_.solver_cache().stats().pattern_builds;
   if (report_.has_value()) {
     m.erc_errors = report_->count(erc::Severity::Error);
     m.erc_warnings = report_->count(erc::Severity::Warning);

@@ -55,11 +55,19 @@ class SearchFixture {
   // run: the result carries the structured report as its failure text.
   spice::TransientResult run(double dt_max = 20e-12);
 
+  // Re-aims the searchline drivers at a new key without touching the
+  // topology: each Vdrv_sl/Vdrv_slb source gets a fresh step waveform
+  // (Circuit::rebind_source), so the solver cache's stamp pattern and
+  // symbolic LU survive. Part of the template-replay contract
+  // (hier/Elaborate.h).
+  void rebind_key(const core::TernaryWord& key);
+
   // Interprets the run. Match/mismatch is decided at the sense strobe
   // (t_edge + strobe_delay): matched = ML still above the sense level
   // there. Latency is the SL-edge → ML-crossing time when the ML crossed.
+  // Non-const: reads the circuit's solver-cache telemetry.
   SearchMetrics metrics(const spice::TransientResult& result,
-                        double strobe_delay) const;
+                        double strobe_delay);
 
  private:
   Calibration cal_;  // by value: rows may pass a locally adjusted copy

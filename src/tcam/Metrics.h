@@ -28,6 +28,11 @@ struct SearchMetrics {
   // (errors > 0 means no transient was run and ok stays false).
   std::size_t erc_errors = 0;
   std::size_t erc_warnings = 0;
+  // Cumulative stamp-pattern builds on the transaction's circuit. A
+  // replayed search on an elaborated template leaves this unchanged — the
+  // assertion behind the "zero reconstruction after the first search"
+  // contract (see hier/Elaborate.h).
+  std::size_t stamp_pattern_builds = 0;
   std::string note;
 
   double edp() const { return energy * latency; }

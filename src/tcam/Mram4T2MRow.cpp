@@ -7,9 +7,11 @@
 #include "devices/Passive.h"
 #include "devices/Sources.h"
 #include "erc/TcamRules.h"
+#include "hier/Elaborate.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/SearchTemplate.h"
 
 namespace nemtcam::tcam {
 
@@ -51,6 +53,46 @@ SearchMetrics Mram4T2MRow::search(const TernaryWord& key) {
   // it needs a longer observation window than the CMOS-strength designs.
   Calibration c = cal();
   c.t_search_window = 10e-9;
+  if (hier::default_enabled()) {
+    if (!search_tpl_) {
+      SearchTemplateSpec spec;
+      spec.cal = c;  // carries the stretched search window
+      spec.geo = kGeo;
+      spec.cell.name = "mram4t2m_cell";
+      spec.cell.ports = {"ml", "sl", "slb"};
+      const auto mtj = [](Circuit& k, const std::string& n,
+                          const std::vector<NodeId>& nd,
+                          const hier::ParamEnv&) -> spice::Device& {
+        return k.add<Mtj>(n, nd[0], nd[1]);
+      };
+      spec.cell.emit("M1", {"sl", "mid"}, mtj);
+      spec.cell.emit("M2", {"mid", "slb"}, mtj);
+      const auto fet = [](MosfetParams mp) {
+        return [mp](Circuit& k, const std::string& n,
+                    const std::vector<NodeId>& nd,
+                    const hier::ParamEnv&) -> spice::Device& {
+          return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
+        };
+      };
+      spec.cell.emit("Ts", {"ml", "mid", "0"}, fet(sense_fet(2.0)));
+      spec.cell.emit("Tacc", {"mid", "0", "0"}, fet(c.nem_write_nmos()));
+      spec.bind = [](Circuit&, const hier::InstanceHandles& cell, Ternary t) {
+        const MtjStates st = states_for(t);
+        auto* m1 = dynamic_cast<Mtj*>(cell.device("M1"));
+        auto* m2 = dynamic_cast<Mtj*>(cell.device("M2"));
+        NEMTCAM_EXPECT(m1 != nullptr && m2 != nullptr);
+        m1->set_parallel(st.m1_parallel);
+        m2->set_parallel(st.m2_parallel);
+      };
+      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
+        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), w));
+      };
+      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
+                                                     array_rows());
+    }
+    return search_tpl_->search(key, stored_, 6e-9 * strobe_scale());
+  }
+
   SearchFixture fx(c, kGeo, width(), array_rows(), key);
   Circuit& ckt = fx.circuit();
 

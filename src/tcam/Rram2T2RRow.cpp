@@ -7,9 +7,11 @@
 #include "devices/Rram.h"
 #include "devices/Sources.h"
 #include "erc/TcamRules.h"
+#include "hier/Elaborate.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/SearchTemplate.h"
 #include "util/Random.h"
 
 namespace nemtcam::tcam {
@@ -34,6 +36,55 @@ Rram2T2RRow::RramStates Rram2T2RRow::states_for(Ternary t) {
 
 SearchMetrics Rram2T2RRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
+  // The variation ablation draws fresh per-device lognormal resistances
+  // every search, which defeats elaborate-once reuse; the template path
+  // covers the (default) nominal case only.
+  if (hier::default_enabled() && sigma_log_ == 0.0) {
+    if (!search_tpl_) {
+      SearchTemplateSpec spec;
+      spec.cal = c;
+      spec.geo = c.geo_rram;
+      spec.cell.name = "rram2t2r_cell";
+      spec.cell.ports = {"ml", "sl", "slb"};
+      // RRAM MIM electrode plates load the matchline (shared, not per cell).
+      spec.prelude = [cap = width() * c.c_rram_electrode](SearchFixture& fx) {
+        fx.circuit().add<Capacitor>("Cel_ml", fx.ml(), fx.circuit().ground(),
+                                    cap);
+        return std::map<std::string, NodeId>{};
+      };
+      const auto rram = [](Circuit& k, const std::string& n,
+                           const std::vector<NodeId>& nd,
+                           const hier::ParamEnv&) -> spice::Device& {
+        return k.add<Rram>(n, nd[0], nd[1], RramParams{});
+      };
+      spec.cell.emit("Ra", {"ml", "mida"}, rram);
+      spec.cell.emit("Rb", {"ml", "midb"}, rram);
+      const auto access = [mp = MosfetParams::nmos_lp(c.w_rram_access)](
+                              Circuit& k, const std::string& n,
+                              const std::vector<NodeId>& nd,
+                              const hier::ParamEnv&) -> spice::Device& {
+        return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
+      };
+      spec.cell.emit("Ma", {"mida", "sl", "0"}, access);
+      spec.cell.emit("Mb", {"midb", "slb", "0"}, access);
+      spec.bind = [](Circuit&, const hier::InstanceHandles& cell, Ternary t) {
+        const RramStates st = states_for(t);
+        auto* ra = dynamic_cast<Rram*>(cell.device("Ra"));
+        auto* rb = dynamic_cast<Rram*>(cell.device("Rb"));
+        NEMTCAM_EXPECT(ra != nullptr && rb != nullptr);
+        ra->set_state(st.a_lrs ? 1.0 : 0.0);
+        rb->set_state(st.b_lrs ? 1.0 : 0.0);
+      };
+      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
+        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * w));
+      };
+      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
+                                                     array_rows());
+    }
+    return search_tpl_->search(key, stored_,
+                               c.t_strobe_rram * strobe_scale());
+  }
+
   SearchFixture fx(c, c.geo_rram, width(), array_rows(), key);
   Circuit& ckt = fx.circuit();
   util::Rng rng(seed_);

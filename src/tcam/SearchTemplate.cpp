@@ -1,0 +1,68 @@
+#include "tcam/SearchTemplate.h"
+
+namespace nemtcam::tcam {
+
+SearchTemplate::SearchTemplate(SearchTemplateSpec spec, int width,
+                               int array_rows)
+    : spec_(std::move(spec)), width_(width), array_rows_(array_rows) {
+  NEMTCAM_EXPECT(static_cast<bool>(spec_.bind));
+  NEMTCAM_EXPECT(!spec_.cell.ports.empty());
+}
+
+void SearchTemplate::build(const core::TernaryWord& key,
+                           const core::TernaryWord& stored) {
+  fx_ = std::make_unique<SearchFixture>(spec_.cal, spec_.geo, width_,
+                                        array_rows_, key,
+                                        spec_.c_sl_gate_per_row);
+  cells_.clear();
+  cells_.reserve(static_cast<std::size_t>(width_));
+
+  std::map<std::string, spice::NodeId> extra;
+  if (spec_.prelude) extra = spec_.prelude(*fx_);
+
+  static const hier::Library kEmptyLib;  // cells carry no nested instances
+  for (int i = 0; i < width_; ++i) {
+    std::vector<spice::NodeId> ports;
+    ports.reserve(spec_.cell.ports.size());
+    for (const std::string& p : spec_.cell.ports) {
+      if (p == "ml") ports.push_back(fx_->ml());
+      else if (p == "vdd") ports.push_back(fx_->vdd());
+      else if (p == "sl") ports.push_back(fx_->sl(i));
+      else if (p == "slb") ports.push_back(fx_->slb(i));
+      else if (const auto it = extra.find(p); it != extra.end())
+        ports.push_back(it->second);
+      else
+        ports.push_back(spice::kGround);  // unused in this transaction
+    }
+    cells_.push_back(hier::elaborate(fx_->circuit(), kEmptyLib, spec_.cell,
+                                     "Xcell" + std::to_string(i), ports,
+                                     spec_.cell.params));
+  }
+
+  if (spec_.rules) spec_.rules(*fx_, stored);
+  built_key_ = key;
+  built_stored_ = stored;
+  ++builds_;
+}
+
+SearchMetrics SearchTemplate::search(const core::TernaryWord& key,
+                                     const core::TernaryWord& stored,
+                                     double strobe_delay, double dt_max) {
+  if (!fx_ || built_stored_ != stored) {
+    build(key, stored);
+  } else if (built_key_ != key) {
+    fx_->rebind_key(key);
+    built_key_ = key;
+  }
+
+  spice::Circuit& ckt = fx_->circuit();
+  ckt.reset_device_states();
+  for (int i = 0; i < width_; ++i)
+    spec_.bind(ckt, cells_[static_cast<std::size_t>(i)],
+               stored[static_cast<std::size_t>(i)]);
+
+  const auto result = fx_->run(dt_max);
+  return fx_->metrics(result, strobe_delay);
+}
+
+}  // namespace nemtcam::tcam

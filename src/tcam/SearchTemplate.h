@@ -1,0 +1,87 @@
+// Elaborate-once / replay-many search transactions.
+//
+// Each row design describes its per-column cell as a hier::SubcktDef plus
+// three hooks (prelude nets, a state binder, ERC rules). The first search
+// builds a SearchFixture, elaborates one cell instance per column under
+// the scope "Xcell<col>" and registers the rules. Every later search with
+// the same stored word reuses that circuit verbatim: the key change is a
+// waveform rebind on the SL drivers, the stored word a device-state
+// re-seed — neither bumps the topology revision, so the solver cache's
+// stamp pattern and symbolic LU carry over (zero reconstruction; the
+// stamp_pattern_builds metric stays flat).
+//
+// A store() of a different word rebuilds the template: the registered ERC
+// rules and the cached report are bound to the word they were built for.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/Ternary.h"
+#include "hier/Elaborate.h"
+#include "tcam/Calibration.h"
+#include "tcam/Harness.h"
+#include "tcam/Metrics.h"
+
+namespace nemtcam::tcam {
+
+struct SearchTemplateSpec {
+  Calibration cal;  // possibly a locally adjusted copy (e.g. MRAM window)
+  CellGeometry geo;
+  double c_sl_gate_per_row = 0.0;
+
+  // Per-column cell. Ports are bound by name: "ml", "vdd", "sl", "slb"
+  // resolve to the fixture nets (sl/slb per column), names returned by the
+  // prelude resolve to those nets, anything else binds to ground — which
+  // is how one all-ports cell definition serves both search (BL/WL
+  // grounded) and write (ML/SL grounded) transactions.
+  hier::SubcktDef cell;
+
+  // Optional: builds design-specific shared nets (read rails, extra ML
+  // loading) after the fixture skeleton, before the cells. The returned
+  // names become bindable cell ports.
+  std::function<std::map<std::string, spice::NodeId>(SearchFixture&)> prelude;
+
+  // Seeds one elaborated cell with a stored trit: device-state pokes and
+  // node ICs. Runs on the first build and on every replay (after
+  // Circuit::reset_device_states), so it must write every IC it owns —
+  // zeros included, or a replay inherits the previous word's level.
+  std::function<void(spice::Circuit&, const hier::InstanceHandles&,
+                     core::Ternary)>
+      bind;
+
+  // Optional: registers design-specific ERC rules (first build only; the
+  // fixture caches the report for replays).
+  std::function<void(SearchFixture&, const core::TernaryWord& stored)> rules;
+};
+
+class SearchTemplate {
+ public:
+  SearchTemplate(SearchTemplateSpec spec, int width, int array_rows);
+
+  SearchMetrics search(const core::TernaryWord& key,
+                       const core::TernaryWord& stored, double strobe_delay,
+                       double dt_max = 20e-12);
+
+  // How many times the underlying circuit was (re)built — for the
+  // zero-reconstruction assertions.
+  std::uint64_t builds() const noexcept { return builds_; }
+
+ private:
+  void build(const core::TernaryWord& key, const core::TernaryWord& stored);
+
+  SearchTemplateSpec spec_;
+  int width_;
+  int array_rows_;
+  std::unique_ptr<SearchFixture> fx_;
+  std::vector<hier::InstanceHandles> cells_;
+  core::TernaryWord built_key_;
+  core::TernaryWord built_stored_;
+  std::uint64_t builds_ = 0;
+};
+
+}  // namespace nemtcam::tcam

@@ -6,9 +6,11 @@
 #include "devices/Passive.h"
 #include "devices/Sources.h"
 #include "erc/TcamRules.h"
+#include "hier/Elaborate.h"
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/SearchTemplate.h"
 
 namespace nemtcam::tcam {
 
@@ -56,10 +58,86 @@ void seed_cell_state(Circuit& ckt, NodeId q, NodeId qb, bool value,
   ckt.set_ic(qb, value ? 0.0 : vdd);
 }
 
+// Appends the six emit cards of one 6T bit cell to a cell definition.
+// `tag` is the local device-name prefix ("c1"/"c2"); q/qb the local
+// storage-node names; bl/blb/wl port names (grounded during a search).
+void emit_6t_cards(hier::SubcktDef& def, const Calibration& c,
+                   const std::string& tag, const std::string& q,
+                   const std::string& qb, const std::string& bl,
+                   const std::string& blb, const std::string& wl) {
+  const auto fet = [](MosfetParams mp) {
+    return [mp](Circuit& k, const std::string& n,
+                const std::vector<NodeId>& nd,
+                const hier::ParamEnv&) -> spice::Device& {
+      return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
+    };
+  };
+  def.emit(tag + "_pu1", {q, qb, "vdd"},
+           fet(MosfetParams::pmos_lp(c.w_sram_pullup)));
+  def.emit(tag + "_pd1", {q, qb, "0"},
+           fet(MosfetParams::nmos_lp(c.w_sram_pulldn)));
+  def.emit(tag + "_pu2", {qb, q, "vdd"},
+           fet(MosfetParams::pmos_lp(c.w_sram_pullup)));
+  def.emit(tag + "_pd2", {qb, q, "0"},
+           fet(MosfetParams::nmos_lp(c.w_sram_pulldn)));
+  def.emit(tag + "_ax1", {bl, wl, q},
+           fet(MosfetParams::nmos_lp(c.w_sram_access)));
+  def.emit(tag + "_ax2", {blb, wl, qb},
+           fet(MosfetParams::nmos_lp(c.w_sram_access)));
+}
+
+// The 16T cell: two 6T bit cells plus the 4T compare network, all nets as
+// ports (bitlines and wordline ground during a search).
+hier::SubcktDef sram_cell_def(const Calibration& c) {
+  hier::SubcktDef def;
+  def.name = "sram16t_cell";
+  def.ports = {"ml",  "sl",   "slb", "vdd", "bl1",
+               "bl1b", "bl2", "bl2b", "wl"};
+  emit_6t_cards(def, c, "c1", "d1", "d1b", "bl1", "bl1b", "wl");
+  emit_6t_cards(def, c, "c2", "d2", "d2b", "bl2", "bl2b", "wl");
+  const auto cmp = [c](Circuit& k, const std::string& n,
+                       const std::vector<NodeId>& nd,
+                       const hier::ParamEnv&) -> spice::Device& {
+    return k.add<Mosfet>(n, nd[0], nd[1], nd[2],
+                         MosfetParams::nmos_lp(c.w_sram_cmp));
+  };
+  def.emit("Mc1", {"ml", "d1", "cmpa"}, cmp);
+  def.emit("Mc2", {"cmpa", "slb", "0"}, cmp);
+  def.emit("Mc3", {"ml", "d2", "cmpb"}, cmp);
+  def.emit("Mc4", {"cmpb", "sl", "0"}, cmp);
+  return def;
+}
+
 }  // namespace
 
 SearchMetrics Sram16TRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
+  if (hier::default_enabled()) {
+    if (!search_tpl_) {
+      SearchTemplateSpec spec;
+      spec.cal = c;
+      spec.geo = c.geo_sram;
+      spec.c_sl_gate_per_row = c.c_sl_offgate_sram;
+      spec.cell = sram_cell_def(c);
+      spec.bind = [vdd = c.vdd](Circuit& ckt,
+                                const hier::InstanceHandles& cell,
+                                Ternary t) {
+        const CellBits bits = bits_for(t);
+        seed_cell_state(ckt, cell.node_at("d1"), cell.node_at("d1b"),
+                        bits.d1, vdd);
+        seed_cell_state(ckt, cell.node_at("d2"), cell.node_at("d2b"),
+                        bits.d2, vdd);
+      };
+      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
+        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * w));
+      };
+      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
+                                                     array_rows());
+    }
+    return search_tpl_->search(key, stored_,
+                               c.t_strobe_sram * strobe_scale());
+  }
+
   SearchFixture fx(c, c.geo_sram, width(), array_rows(), key,
                    c.c_sl_offgate_sram);
   Circuit& ckt = fx.circuit();

@@ -1,5 +1,7 @@
 #include "tcam/TcamRow.h"
 
+#include "tcam/SearchTemplate.h"
+
 #include "tcam/Dtcam5TRow.h"
 #include "tcam/Fefet2FRow.h"
 #include "tcam/Fefet4T2FRow.h"
@@ -22,6 +24,8 @@ const char* kind_name(TcamKind k) {
   }
   return "?";
 }
+
+TcamRow::~TcamRow() = default;
 
 TcamRow::TcamRow(int width, int array_rows, const Calibration& cal)
     : stored_(TernaryWord(static_cast<std::size_t>(width), Ternary::X)),

@@ -35,9 +35,11 @@ enum class TcamKind {
 
 const char* kind_name(TcamKind k);
 
+class SearchTemplate;
+
 class TcamRow {
  public:
-  virtual ~TcamRow() = default;
+  virtual ~TcamRow();  // out-of-line: SearchTemplate is incomplete here
 
   virtual TcamKind kind() const = 0;
   int width() const noexcept { return width_; }
@@ -71,6 +73,12 @@ class TcamRow {
                                       const TernaryWord& new_word) = 0;
 
   TernaryWord stored_;
+
+  // Lazily built elaborated search transaction (hier::default_enabled()
+  // path). Row builders fill it on first search; replays rebind instead
+  // of reconstructing. Rows with per-search stochastic device parameters
+  // (RRAM variation) leave it unset and fall back to the flat builder.
+  std::unique_ptr<SearchTemplate> search_tpl_;
 
  private:
   int width_;

@@ -1,0 +1,279 @@
+// Hierarchical-IR acceptance suite (ctest label: hier).
+//
+// Covers the elaborate-once contract end to end: every row design's
+// template-path search must reproduce the legacy flat builder's metrics,
+// a replayed search must not rebuild or re-stamp anything, and a textual
+// .subckt deck must parse, elaborate, pass ERC and simulate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "devices/NemRelay.h"
+#include "erc/Checker.h"
+#include "fault/FaultInjector.h"
+#include "hier/Elaborate.h"
+#include "netlist/Netlist.h"
+#include "spice/Transient.h"
+#include "tcam/Rram2T2RRow.h"
+#include "tcam/TcamRow.h"
+
+namespace {
+
+using namespace nemtcam;
+using namespace nemtcam::tcam;
+using core::Ternary;
+using core::TernaryWord;
+
+constexpr int kWidth = 8;
+constexpr int kRows = 64;
+
+// Scoped override of the process-wide template-path default, so tests can
+// A/B the two builders without leaking state into each other.
+class HierMode {
+ public:
+  explicit HierMode(bool on) : prev_(hier::default_enabled()) {
+    hier::set_default_enabled(on);
+  }
+  ~HierMode() { hier::set_default_enabled(prev_); }
+
+ private:
+  bool prev_;
+};
+
+// |a - b| within 0.1% of |b| (or both ~0).
+void expect_close(double a, double b, const char* what) {
+  const double tol = 1e-3 * std::max(std::abs(b), 1e-30);
+  EXPECT_NEAR(a, b, tol) << what << ": template=" << a << " flat=" << b;
+}
+
+void expect_equivalent(const SearchMetrics& tpl, const SearchMetrics& flat) {
+  ASSERT_TRUE(tpl.ok) << tpl.note;
+  ASSERT_TRUE(flat.ok) << flat.note;
+  EXPECT_EQ(tpl.matched, flat.matched);
+  expect_close(tpl.latency, flat.latency, "latency");
+  expect_close(tpl.energy, flat.energy, "energy");
+  // A replayed solve refactorizes on the cached pattern, so the ~nV
+  // discharge residue can differ at rounding level; a 1 µV absolute floor
+  // keeps the check meaningful against the 1 V signal scale.
+  EXPECT_NEAR(tpl.ml_min, flat.ml_min,
+              std::max(1e-3 * std::abs(flat.ml_min), 1e-6));
+}
+
+class AllKindsHier : public ::testing::TestWithParam<TcamKind> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, AllKindsHier,
+    ::testing::Values(TcamKind::Sram16T, TcamKind::Nem3T2N, TcamKind::Rram2T2R,
+                      TcamKind::Fefet2F, TcamKind::Dtcam5T,
+                      TcamKind::Fefet4T2F, TcamKind::Mram4T2M),
+    [](const auto& info) {
+      switch (info.param) {
+        case TcamKind::Sram16T: return "Sram16T";
+        case TcamKind::Nem3T2N: return "Nem3T2N";
+        case TcamKind::Rram2T2R: return "Rram2T2R";
+        case TcamKind::Fefet2F: return "Fefet2F";
+        case TcamKind::Dtcam5T: return "Dtcam5T";
+        case TcamKind::Fefet4T2F: return "Fefet4T2F";
+        case TcamKind::Mram4T2M: return "Mram4T2M";
+      }
+      return "unknown";
+    });
+
+TEST_P(AllKindsHier, TemplatePathMatchesFlatPath) {
+  const TernaryWord word("10X10010");
+  const TernaryWord match_key("10110010");   // X columns are don't-care
+  const TernaryWord mismatch_key("00110010");
+
+  SearchMetrics tpl_match, tpl_miss, flat_match, flat_miss;
+  {
+    HierMode mode(true);
+    auto row = make_row(GetParam(), kWidth, kRows);
+    row->store(word);
+    tpl_match = row->search(match_key);
+    tpl_miss = row->search(mismatch_key);
+  }
+  {
+    HierMode mode(false);
+    auto row = make_row(GetParam(), kWidth, kRows);
+    row->store(word);
+    flat_match = row->search(match_key);
+    flat_miss = row->search(mismatch_key);
+  }
+  EXPECT_TRUE(tpl_match.matched);
+  EXPECT_FALSE(tpl_miss.matched);
+  expect_equivalent(tpl_match, flat_match);
+  expect_equivalent(tpl_miss, flat_miss);
+}
+
+TEST(HierTemplate, ReplayedSearchRebuildsNothing) {
+  HierMode mode(true);
+  auto row = make_row(TcamKind::Nem3T2N, kWidth, kRows);
+  row->store(TernaryWord("1011X010"));
+
+  const TernaryWord key("10110010");
+  const SearchMetrics first = row->search(key);
+  ASSERT_TRUE(first.ok) << first.note;
+
+  // After the first search the template exists; replays — same key or a
+  // rebound one — must not elaborate a single instance or rebuild the
+  // stamp pattern.
+  const hier::Stats before = hier::stats();
+  const SearchMetrics second = row->search(key);
+  const SearchMetrics third = row->search(key);
+  const SearchMetrics rebound = row->search(TernaryWord("00110010"));
+  const hier::Stats after = hier::stats();
+
+  ASSERT_TRUE(second.ok && third.ok && rebound.ok);
+  EXPECT_EQ(after.instances_elaborated, before.instances_elaborated);
+  EXPECT_EQ(after.cards_emitted, before.cards_emitted);
+  EXPECT_EQ(second.stamp_pattern_builds, third.stamp_pattern_builds);
+  EXPECT_EQ(third.stamp_pattern_builds, rebound.stamp_pattern_builds);
+
+  // And the replays still compute the right answers.
+  EXPECT_TRUE(second.matched);
+  EXPECT_TRUE(third.matched);
+  EXPECT_FALSE(rebound.matched);
+  EXPECT_NEAR(second.ml_min, third.ml_min, 1e-12);
+}
+
+TEST(HierTemplate, StoreOfNewWordRebuildsAndStaysCorrect) {
+  HierMode mode(true);
+  auto row = make_row(TcamKind::Nem3T2N, kWidth, kRows);
+  row->store(TernaryWord("11110000"));
+  EXPECT_TRUE(row->search(TernaryWord("11110000")).matched);
+
+  // The ERC rules registered at build time are bound to the stored word;
+  // a store() must therefore rebuild the template, not just re-seed it.
+  row->store(TernaryWord("00001111"));
+  const SearchMetrics m = row->search(TernaryWord("00001111"));
+  ASSERT_TRUE(m.ok) << m.note;
+  EXPECT_TRUE(m.matched);
+  EXPECT_FALSE(row->search(TernaryWord("11110000")).matched);
+}
+
+TEST(HierTemplate, WriteTemplateMatchesFlatWrite) {
+  const TernaryWord old_word("10110010");
+  const TernaryWord new_word("01X01101");
+
+  WriteMetrics tpl, flat;
+  {
+    HierMode mode(true);
+    auto row = make_row(TcamKind::Nem3T2N, kWidth, kRows);
+    row->store(old_word);
+    tpl = row->write(new_word);
+  }
+  {
+    HierMode mode(false);
+    auto row = make_row(TcamKind::Nem3T2N, kWidth, kRows);
+    row->store(old_word);
+    flat = row->write(new_word);
+  }
+  ASSERT_TRUE(tpl.ok) << tpl.note;
+  ASSERT_TRUE(flat.ok) << flat.note;
+  expect_close(tpl.latency, flat.latency, "write latency");
+  expect_close(tpl.energy, flat.energy, "write energy");
+}
+
+TEST(HierTemplate, ReplayedWriteRebuildsNothing) {
+  HierMode mode(true);
+  auto row = make_row(TcamKind::Nem3T2N, kWidth, kRows);
+  row->store(TernaryWord("10110010"));
+  ASSERT_TRUE(row->write(TernaryWord("01001101")).ok);
+
+  const hier::Stats before = hier::stats();
+  ASSERT_TRUE(row->write(TernaryWord("1111XXXX")).ok);
+  ASSERT_TRUE(row->write(TernaryWord("00000000")).ok);
+  const hier::Stats after = hier::stats();
+  EXPECT_EQ(after.instances_elaborated, before.instances_elaborated);
+  EXPECT_EQ(after.cards_emitted, before.cards_emitted);
+}
+
+TEST(HierTemplate, RramVariationFallsBackToFlatBuilder) {
+  // Per-search lognormal draws are incompatible with elaborate-once; the
+  // row must keep working (via the flat builder) when variation is on.
+  HierMode mode(true);
+  auto row = make_row(TcamKind::Rram2T2R, kWidth, kRows);
+  auto* rram = dynamic_cast<Rram2T2RRow*>(row.get());
+  ASSERT_NE(rram, nullptr);
+  rram->set_resistance_sigma(0.3);
+  row->store(TernaryWord("10110010"));
+  const hier::Stats before = hier::stats();
+  const SearchMetrics m = row->search(TernaryWord("10110010"));
+  const hier::Stats after = hier::stats();
+  ASSERT_TRUE(m.ok) << m.note;
+  EXPECT_TRUE(m.matched);
+  // No template was elaborated for the stochastic path.
+  EXPECT_EQ(after.instances_elaborated, before.instances_elaborated);
+}
+
+TEST(HierDeck, SubcktDeckParsesErcCleanAndSimulates) {
+  // A two-cell relay row: precharged ML, one matching and one mismatching
+  // column — the textual twin of the elaborated search templates.
+  const auto deck = spice::parse_netlist(
+      "two-column NEM relay match test\n"
+      ".subckt relay_cell ml sl slb stg1v=0 stg2v=0\n"
+      "N1 slb stg1 gs 0 closed\n"
+      "N2 sl stg2 gs 0\n"
+      "Ms ml gs 0 NMOS w=1.5\n"
+      "C1 stg1 0 1f\n"
+      "C2 stg2 0 1f\n"
+      "* bleeders stand in for the off write transistors' leak path\n"
+      "R1 stg1 0 100g\n"
+      "R2 stg2 0 100g\n"
+      ".ends\n"
+      "Vpre ml 0 PWL(0 1 0.2n 1 0.25n 0)\n"
+      "Csense ml 0 5f\n"
+      "Vsl0 sl0 0 PWL(0 0 0.3n 0 0.32n 1)\n"
+      "Vslb0 slb0 0 0\n"
+      "Vsl1 sl1 0 0\n"
+      "Vslb1 slb1 0 PWL(0 0 0.3n 0 0.32n 1)\n"
+      "X0 ml sl0 slb0 relay_cell\n"
+      "X1 ml sl1 slb1 relay_cell\n"
+      ".ic v(ml)=1 v(x0.stg1)=0.9\n"
+      ".tran 10p 2n\n"
+      ".print v(ml) v(x0.gs) v(x1.gs)\n"
+      ".end\n");
+  ASSERT_NE(deck.circuit, nullptr);
+  ASSERT_EQ(deck.analysis.kind, spice::ParsedAnalysis::Kind::Tran);
+  EXPECT_TRUE(deck.circuit->has_node("x0.stg1"));
+  EXPECT_TRUE(deck.circuit->has_node("x1.gs"));
+
+  // Structural lint: the elaborated deck is ERC-clean.
+  erc::Checker checker;
+  const erc::Report report = checker.run(*deck.circuit);
+  EXPECT_FALSE(report.has_errors()) << report.to_string();
+
+  const auto opts =
+      spice::step_defaults(deck.analysis.tran_t_end, deck.analysis.tran_dt_max);
+  const auto result = spice::run_transient(*deck.circuit, opts);
+  ASSERT_TRUE(result.finished) << result.failure;
+}
+
+TEST(HierFault, InjectorUnderstandsScopedRelayNames) {
+  // The elaborated templates name relays "Xcell<col>.N1"; the injector
+  // must hit them exactly as it hits the flat "N1_<col>" names.
+  spice::Circuit ckt;
+  const auto g = ckt.ground();
+  auto& hier_n1 = ckt.add<devices::NemRelay>("Xcell3.N1", g, ckt.node("a"),
+                                             ckt.node("b"), g);
+  auto& hier_n2 = ckt.add<devices::NemRelay>("Xcell3.N2", g, ckt.node("c"),
+                                             ckt.node("d"), g);
+  auto& other_col = ckt.add<devices::NemRelay>("Xcell2.N1", g, ckt.node("e"),
+                                               ckt.node("f"), g);
+
+  fault::FaultInjector injector;
+  fault::FaultSpec spec;
+  spec.kind = fault::FaultKind::RelayStuckClosed;
+  spec.col = 3;
+  spec.on_n1 = true;
+  EXPECT_EQ(injector.apply(ckt, spec), 1);
+  EXPECT_TRUE(hier_n1.stuck());
+  EXPECT_FALSE(hier_n2.stuck());
+  EXPECT_FALSE(other_col.stuck());
+
+  spec.on_n1 = false;
+  EXPECT_EQ(injector.apply(ckt, spec), 1);
+  EXPECT_TRUE(hier_n2.stuck());
+}
+
+}  // namespace

@@ -36,6 +36,53 @@ TEST(SpiceNumber, RejectsGarbage) {
   EXPECT_THROW(parse_spice_number("1.2.3"), NetlistError);
 }
 
+TEST(SpiceNumber, CaseBlindMilliVsMeg) {
+  // Classic SPICE trap: suffixes are case-blind, so "1M" is one milli,
+  // NOT one mega. Only the spelled-out "meg" means 1e6.
+  EXPECT_DOUBLE_EQ(parse_spice_number("1M"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1m"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1MEG"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("1Meg"), 1e6);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.5MEGohm"), 2.5e6);
+}
+
+TEST(SpiceNumber, RejectsTrailingGarbageAfterSuffix) {
+  // Digits after a scale suffix are ambiguous ("1k5" could be the European
+  // 1.5k) — reject rather than guess. Pure unit letters stay tolerated.
+  EXPECT_THROW(parse_spice_number("1k5"), NetlistError);
+  EXPECT_THROW(parse_spice_number("1.5meg2"), NetlistError);
+  EXPECT_THROW(parse_spice_number("3n2F"), NetlistError);
+  EXPECT_THROW(parse_spice_number("2.2nF!"), NetlistError);
+  EXPECT_DOUBLE_EQ(parse_spice_number("2.2nF"), 2.2e-9);
+}
+
+TEST(Netlist, BadNumberErrorsCarryLineNumbers) {
+  try {
+    parse_netlist("t\nR1 a 0 1k\nC1 a 0 1k5\n.end\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Netlist, PrintOfUnknownNodeIsAnError) {
+  try {
+    parse_netlist(
+        "t\n"
+        "V1 vin 0 1\n"
+        "R1 vin out 1k\n"
+        ".op\n"
+        ".print v(out) v(typo)\n"
+        ".end\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("typo"), std::string::npos) << what;
+  }
+}
+
 TEST(Netlist, TitleAndComments) {
   const auto deck = parse_netlist(
       "my title line\n"
@@ -186,6 +233,117 @@ TEST(Netlist, ErrorsCarryLineNumbers) {
   EXPECT_THROW(parse_netlist("t\n.bogus\n.end\n"), NetlistError);
   EXPECT_THROW(parse_netlist("t\nF1 a 0 R9 2\nR9 a 0 1k\n.end\n"),
                NetlistError);
+}
+
+TEST(Netlist, SubcktFlattensWithScopedNames) {
+  const auto deck = parse_netlist(
+      "two RC stages from one template\n"
+      "V1 vin 0 1\n"
+      ".subckt rcstage in out\n"
+      "R1 in mid 1k\n"
+      "R2 mid out 1k\n"
+      "C1 out 0 1p\n"
+      ".ends\n"
+      "X1 vin a rcstage\n"
+      "X2 a b rcstage\n"
+      ".op\n"
+      ".print v(b)\n"
+      ".end\n");
+  // V1 + 2 × (R1 R2 C1) flattened into the one circuit.
+  EXPECT_EQ(deck.circuit->devices().size(), 7u);
+  // Inner nodes are scoped; ports bound to the caller's nets.
+  EXPECT_TRUE(deck.circuit->has_node("x1.mid"));
+  EXPECT_TRUE(deck.circuit->has_node("x2.mid"));
+  EXPECT_TRUE(deck.circuit->has_node("a"));
+  EXPECT_FALSE(deck.circuit->has_node("x1.in"));
+  const auto dc = dc_operating_point(*deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  // No DC path pulls the ladder down: every stage floats at the source.
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(deck.circuit->node("b") - 1)], 1.0,
+              1e-6);
+}
+
+TEST(Netlist, SubcktMayBeDefinedAfterUse) {
+  const auto deck = parse_netlist(
+      "forward reference\n"
+      "V1 vin 0 2\n"
+      "X1 vin out divider\n"
+      ".subckt divider a b\n"
+      "R1 a b 1k\n"
+      "R2 b 0 1k\n"
+      ".ends\n"
+      ".op\n"
+      ".end\n");
+  const auto dc = dc_operating_point(*deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  EXPECT_NEAR(dc.v[static_cast<std::size_t>(deck.circuit->node("out") - 1)],
+              1.0, 1e-6);
+}
+
+TEST(Netlist, SubcktParamsSubstitutePerInstance) {
+  const auto deck = parse_netlist(
+      "parameterized divider\n"
+      ".param rbase=1k\n"
+      "V1 vin 0 3\n"
+      ".subckt divider a b rtop={rbase}\n"
+      "R1 a b {rtop}\n"
+      "R2 b 0 1k\n"
+      ".ends\n"
+      "X1 vin o1 divider\n"
+      "X2 vin o2 divider rtop=2k\n"
+      ".op\n"
+      ".end\n");
+  const auto dc = dc_operating_point(*deck.circuit);
+  ASSERT_TRUE(dc.converged);
+  const auto v = [&](const char* n) {
+    return dc.v[static_cast<std::size_t>(deck.circuit->node(n) - 1)];
+  };
+  EXPECT_NEAR(v("o1"), 1.5, 1e-6);  // default: 1k over 1k
+  EXPECT_NEAR(v("o2"), 1.0, 1e-6);  // override: 2k over 1k
+}
+
+TEST(Netlist, ScopedIcReachesInstanceNode) {
+  const auto deck = parse_netlist(
+      "ic on an inner node\n"
+      ".subckt cell top\n"
+      "R1 top stor 10k\n"
+      "C1 stor 0 1p\n"
+      ".ends\n"
+      "X1 n1 cell\n"
+      "R2 n1 0 1k\n"
+      ".ic v(x1.stor)=0.8\n"
+      ".tran 10p 1n\n"
+      ".end\n");
+  ASSERT_TRUE(deck.circuit->has_node("x1.stor"));
+  const auto x0 = deck.circuit->initial_state();
+  EXPECT_DOUBLE_EQ(
+      x0[static_cast<std::size_t>(deck.circuit->node("x1.stor") - 1)], 0.8);
+}
+
+TEST(Netlist, SubcktErrors) {
+  // Unclosed body points at the .subckt line.
+  try {
+    parse_netlist("t\n.subckt foo a\nR1 a 0 1k\n.end\n");
+    FAIL() << "should have thrown";
+  } catch (const NetlistError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  // Unknown subckt reference.
+  EXPECT_THROW(parse_netlist("t\nX1 a b nosuch\n.end\n"), NetlistError);
+  // Directives are not allowed inside a body.
+  EXPECT_THROW(
+      parse_netlist("t\n.subckt foo a\n.tran 1n 10n\n.ends\n.end\n"),
+      NetlistError);
+  // Redefinition.
+  EXPECT_THROW(
+      parse_netlist(
+          "t\n.subckt foo a\nR1 a 0 1k\n.ends\n"
+          ".subckt foo a\nR1 a 0 2k\n.ends\n.end\n"),
+      NetlistError);
+  // Port-count mismatch at the instance.
+  EXPECT_THROW(
+      parse_netlist("t\n.subckt foo a b\nR1 a b 1k\n.ends\nX1 n1 foo\n.end\n"),
+      NetlistError);
 }
 
 TEST(Netlist, ContentAfterEndIgnored) {

@@ -5,10 +5,12 @@
 #
 # Stages:
 #   1. release build (preset `release`) + full ctest
-#   2. ASan/UBSan build (preset `asan`) + the `robustness` test label
+#   2. ASan/UBSan build (preset `asan`) + the `robustness` and `hier`
+#      test labels (elaboration code paths under the sanitizers)
 #   3. lint build (preset `lint`): -Wall -Wextra -Wshadow -Werror, plus
 #      clang-tidy when installed (the CMake option degrades gracefully)
-#   4. static ERC over the shipped example decks via nemtcam_lint
+#   4. static ERC over the shipped example decks (including the
+#      hierarchical .subckt deck) via nemtcam_lint --werror
 #
 # Fails fast on the first broken stage.
 set -eu
@@ -20,16 +22,17 @@ cmake --preset release
 cmake --build --preset release -j
 ctest --preset all -j
 
-echo "==== [2/4] asan build + robustness label ===="
+echo "==== [2/4] asan build + robustness/hier labels ===="
 cmake --preset asan
 cmake --build --preset asan -j
 ctest --preset robustness-asan -j
+ctest --preset hier-asan -j
 
 echo "==== [3/4] lint build (-Werror, clang-tidy if installed) ===="
 cmake --preset lint
 cmake --build --preset lint -j
 
-echo "==== [4/4] ERC over example decks ===="
-build/tools/nemtcam_lint examples/decks/*.sp
+echo "==== [4/4] ERC over example decks (warnings are errors) ===="
+build/tools/nemtcam_lint --werror examples/decks/*.sp
 
 echo "==== ci.sh: all stages passed ===="
