@@ -147,6 +147,7 @@ double NemRelay::power(const StampContext& ctx) const {
 }
 
 void NemRelay::set_state(bool closed, double v_gb) {
+  if (stuck_) return;  // a welded/broken beam cannot be re-seeded
   position_ = closed ? 1.0 : 0.0;
   target_closed_ = closed;
   q_gb_ = gate_capacitance() * v_gb;

@@ -23,21 +23,39 @@ int parse_col(const std::string& name, std::size_t begin, std::size_t end) {
   return col;
 }
 
-// Column index of a device under either naming convention: flat
-// "<base>_<col>" ("N1_3"), or hierarchical "Xcell<col>.<base>"
-// ("Xcell3.N1") as produced by the elaborated cell templates. Returns -1
-// when the name matches neither.
-int column_of(const std::string& name) {
-  const std::size_t dot = name.find('.');
-  if (dot != std::string::npos) {
-    constexpr const char* kInst = "Xcell";
-    constexpr std::size_t kInstLen = 5;
-    if (name.rfind(kInst, 0) != 0) return -1;
-    return parse_col(name, kInstLen, dot);
+// Array coordinates of a device. row is -1 when the name carries no row
+// scope (flat or single-row hierarchical names match any requested row);
+// col is -1 when the name matches no known convention.
+struct DeviceLoc {
+  int row = -1;
+  int col = -1;
+};
+
+// Three naming conventions: flat "<base>_<col>" ("N1_3"), single-row
+// hierarchical "Xcell<col>.<base>" ("Xcell3.N1"), and the two-level array
+// scope "Xrow<row>.Xcell<col>.<base>" ("Xrow2.Xcell3.N1") produced by
+// ArrayTemplate.
+DeviceLoc locate(const std::string& name) {
+  DeviceLoc loc;
+  std::size_t pos = 0;
+  if (name.rfind("Xrow", 0) == 0) {
+    const std::size_t row_dot = name.find('.');
+    if (row_dot == std::string::npos) return {};
+    loc.row = parse_col(name, 4, row_dot);
+    if (loc.row < 0) return {};
+    pos = row_dot + 1;
   }
+  const std::size_t dot = name.find('.', pos);
+  if (dot != std::string::npos) {
+    if (name.compare(pos, 5, "Xcell") != 0) return {};
+    loc.col = parse_col(name, pos + 5, dot);
+    return loc;
+  }
+  if (loc.row >= 0) return {};  // "Xrow<r>.<base>" is row hardware, not a cell
   const std::size_t us = name.rfind('_');
-  if (us == std::string::npos) return -1;
-  return parse_col(name, us + 1, name.size());
+  if (us == std::string::npos) return {};
+  loc.col = parse_col(name, us + 1, name.size());
+  return loc;
 }
 
 // Local (scope-stripped) device name: everything after the last '.'.
@@ -58,7 +76,11 @@ int FaultInjector::apply(spice::Circuit& circuit, const FaultSpec& spec) const {
   if (spec.kind == FaultKind::None) return 0;
   int applied = 0;
   for (const auto& dev : circuit.devices()) {
-    if (column_of(dev->name()) != spec.col) continue;
+    const DeviceLoc loc = locate(dev->name());
+    if (loc.col != spec.col) continue;
+    // Row-scoped names must match the spec's row; unscoped names come
+    // from single-row circuits, where every device is the spec's row.
+    if (loc.row >= 0 && loc.row != spec.row) continue;
     if (auto* relay = dynamic_cast<devices::NemRelay*>(dev.get())) {
       if (!is_target_relay(relay->name(), spec.on_n1)) continue;
       switch (spec.kind) {

@@ -1,9 +1,11 @@
 // Applies drawn FaultSpecs to a built circuit by device-name convention.
 //
-// Two naming conventions are understood. The legacy flat fixtures name
+// Three naming conventions are understood. The legacy flat fixtures name
 // per-column devices "<base>_<col>" ("N1_3", "Tw1_0", "Ts_7", …); the
 // hierarchical cell templates scope them under their instance as
-// "Xcell<col>.<base>" ("Xcell3.N1"). The injector walks the circuit's
+// "Xcell<col>.<base>" ("Xcell3.N1"); ArrayTemplate adds the row level,
+// "Xrow<row>.Xcell<col>.<base>" ("Xrow2.Xcell3.N1") — there the fault's
+// row must match the scope too. The injector walks the circuit's
 // device list, parses the column index from either form, and mutates the
 // matching devices in place through the fault hooks
 // (NemRelay::force_stuck / set_contact_resistance / set_gate_leakage,

@@ -61,6 +61,7 @@ bool SparseLu::refactorize(SparseMatrix& a) {
 void SparseLu::factorize(const CsrView& a) {
   n_ = a.n;
   factored_ = false;
+  ++generation_;  // new pivot order: schedule-derived plans are stale
 
   // Keep the analyzed pattern: refactorize() verifies against it and uses
   // scatter_map_ to drop new values into the fill-extended U storage.
@@ -326,9 +327,13 @@ bool SparseLu::refactorize(const CsrView& a) {
 }
 
 void SparseLu::solve_inplace(std::vector<double>& bx) const {
-  NEMTCAM_EXPECT(factored_);
   NEMTCAM_EXPECT(bx.size() == n_);
-  std::vector<double>& y = bx;
+  solve_inplace(bx.data());
+}
+
+void SparseLu::solve_inplace(double* bx) const {
+  NEMTCAM_EXPECT(factored_);
+  double* y = bx;
   // Forward: replay eliminations. At each recorded op the pivot row's value
   // is already final (a row is never updated after becoming a pivot).
   for (std::size_t s = 0; s < n_; ++s) {
@@ -342,7 +347,8 @@ void SparseLu::solve_inplace(std::vector<double>& bx) const {
   // (a pivot row's surviving entries belong to its own column plus
   // later-stage columns, whose unknowns are already solved; earlier-stage
   // positions hold exact zeros).
-  std::vector<double> x(n_, 0.0);
+  x_scratch_.assign(n_, 0.0);
+  double* x = x_scratch_.data();
   for (std::size_t stage = n_; stage-- > 0;) {
     const std::size_t p = pivot_of_stage_[stage];
     const std::size_t k = col_of_stage_[stage];
@@ -355,7 +361,7 @@ void SparseLu::solve_inplace(std::vector<double>& bx) const {
     NEMTCAM_ENSURE_MSG(diag != 0.0, "SparseLu::solve: zero diagonal");
     x[k] = acc / diag;
   }
-  bx = std::move(x);
+  std::copy(x, x + n_, bx);
 }
 
 std::vector<double> SparseLu::solve(const std::vector<double>& b) const {

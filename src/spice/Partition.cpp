@@ -1,0 +1,65 @@
+#include "spice/Partition.h"
+
+#include <cstddef>
+
+#include "util/Expect.h"
+
+namespace nemtcam::spice {
+
+linalg::BbdPartition make_bbd_partition(
+    const Circuit& circuit, const std::vector<int>& owner_of_device,
+    int n_owners) {
+  const auto& devices = circuit.devices();
+  NEMTCAM_EXPECT(owner_of_device.size() == devices.size());
+  NEMTCAM_EXPECT(n_owners >= 0);
+
+  const int n_node_unknowns = circuit.node_unknowns();
+  const std::size_t n_unknowns =
+      static_cast<std::size_t>(circuit.unknown_count());
+
+  linalg::BbdPartition part;
+  part.n_blocks = n_owners;
+  part.block_of.assign(n_unknowns, -1);
+
+  // Node unknowns: start unclaimed (-2), settle to an owner while every
+  // touching device agrees, collapse to border (-1) on the first
+  // disagreement or shared device. Unclaimed nodes (touched by nothing)
+  // end up border, which is always safe.
+  constexpr int kUnclaimed = -2;
+  std::vector<int> node_owner(static_cast<std::size_t>(n_node_unknowns),
+                              kUnclaimed);
+
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const int owner = owner_of_device[d];
+    NEMTCAM_EXPECT(owner >= -1 && owner < n_owners);
+    for (const auto& term : devices[d]->topology().terminals) {
+      if (term.node == circuit.ground()) continue;
+      int& cur = node_owner[static_cast<std::size_t>(term.node) - 1];
+      if (cur == kUnclaimed)
+        cur = owner;
+      else if (cur != owner)
+        cur = -1;
+    }
+  }
+
+  for (int u = 0; u < n_node_unknowns; ++u) {
+    const int owner = node_owner[static_cast<std::size_t>(u)];
+    part.block_of[static_cast<std::size_t>(u)] = owner >= 0 ? owner : -1;
+  }
+
+  // Branch unknowns belong to their device's block outright — only that
+  // device stamps its own branch rows/columns.
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    const Device& dev = *devices[d];
+    const int nb = dev.branch_count();
+    if (nb == 0) continue;
+    const std::size_t base = static_cast<std::size_t>(n_node_unknowns) +
+                             static_cast<std::size_t>(dev.first_branch());
+    for (int b = 0; b < nb; ++b)
+      part.block_of[base + static_cast<std::size_t>(b)] = owner_of_device[d];
+  }
+
+  return part;
+}
+
+}  // namespace nemtcam::spice

@@ -1,0 +1,34 @@
+// Derives a bordered-block-diagonal partition of a circuit's MNA
+// unknowns from device ownership.
+//
+// The array builder knows which devices belong to which row (and which —
+// drivers, rails, line parasitics — are shared), and records an owner id
+// per device in circuit order. From that, the partition falls out
+// structurally via Device::topology():
+//   - a node touched only by devices of one owner belongs to that
+//     owner's block;
+//   - a node touched by several owners, or by any shared device
+//     (owner -1), is a border unknown;
+//   - a branch unknown follows its device's owner (shared → border).
+// Devices stamp only at their reported terminals and their own branches,
+// so no matrix entry can couple two different blocks: a device of owner k
+// only ever touches block-k or border unknowns. BbdSolver re-verifies
+// this invariant entry-by-entry during its symbolic split.
+#pragma once
+
+#include <vector>
+
+#include "linalg/BbdSolver.h"
+#include "spice/Circuit.h"
+
+namespace nemtcam::spice {
+
+// owner_of_device[i] is the owner of circuit.devices()[i]: a block id in
+// [0, n_owners) or -1 for shared devices. Owners need not be rows — the
+// array fixture also gives each line driver its own one-branch block so
+// the border holds only genuinely shared nodes.
+linalg::BbdPartition make_bbd_partition(
+    const Circuit& circuit, const std::vector<int>& owner_of_device,
+    int n_owners);
+
+}  // namespace nemtcam::spice

@@ -1,0 +1,261 @@
+// Column-coupled full-array search transactions.
+//
+// A SearchTemplate simulates one row against lumped stand-ins for the
+// rest of the array. ArrayTemplate drops the stand-ins: it elaborates a
+// true N×M array — N matchlines with their own precharge devices, N×M
+// cells, and shared searchline pairs modelled as segmented RC ladders
+// that every row taps — so all N rows load the SL drivers at once and
+// evaluate the key in parallel, coupling through the lines exactly as
+// the tiled silicon would.
+//
+// The resulting MNA system is bordered-block-diagonal by construction:
+// the fixture records a device→owner map while it builds and installs
+// the derived partition on the circuit's solver cache, so Newton solves
+// run through linalg::BbdSolver — blocks factorized in parallel on a
+// ThreadPool, one small dense Schur solve on the border. Two partition
+// axes exist (ArrayOptions::partition): per-column blocks own their
+// SL/SL̄ ladder and drivers outright, leaving only the N matchlines and
+// the rails in the border; per-row blocks own their matchline but push
+// every line-segment node into a 2·M·segments border. Set
+// ArrayOptions::use_bbd = false for the monolithic-SparseLu A/B leg: the
+// circuit is bit-identical, only the linear solver changes.
+//
+// The elaborate-once / replay-many contract matches SearchTemplate:
+// key changes rebind the driver waveforms, stored-word changes to the
+// same words re-seed device state; only a different stored image
+// rebuilds. Cell instance paths are "Xrow<r>.Xcell<c>.<card>" — the ERC
+// rules and the fault injector address cells through the same two-level
+// scope.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/Ternary.h"
+#include "erc/Checker.h"
+#include "spice/Circuit.h"
+#include "spice/Transient.h"
+#include "tcam/SearchTemplate.h"
+
+namespace nemtcam::util {
+class ThreadPool;
+}
+
+namespace nemtcam::tcam {
+
+// Which array axis becomes the diagonal blocks. The circuit is identical
+// either way — only solver cost moves. ByColumn folds each column's
+// cells, its SL/SL̄ ladder and both drivers into one block, so the border
+// is just the N matchlines plus the rails regardless of sl_segments; it
+// is the cheaper axis whenever M·segments outnumber N (always, for the
+// square arrays here). ByRow keeps each row's matchline and cells as a
+// block — the natural mirror of the paper's all-rows-in-parallel search —
+// at the price of a 2·M·segments border.
+enum class ArrayPartition { ByColumn, ByRow };
+
+struct ArrayOptions {
+  // Shared-searchline discretization: each SL/SL̄ runs as `sl_segments`
+  // RC sections (per-cell wire R and C from the Calibration), rows
+  // tapping their nearest section node. More segments → finer line model
+  // but a larger border (2·M·segments shared nodes) under the ByRow
+  // partition; ByColumn keeps segments block-interior. Clamped to [1, N].
+  int sl_segments = 2;
+  // Diagonal-block axis for the BBD partition (see ArrayPartition).
+  ArrayPartition partition = ArrayPartition::ByColumn;
+  // Route Newton solves through the BBD Schur solver (false = monolithic
+  // SparseLu on the identical circuit — the A/B baseline).
+  bool use_bbd = true;
+  // Run the ERC pass before the transient. Worth disabling for the very
+  // large bench arrays: the rules walk the full device list per row.
+  bool run_erc = true;
+  // Pool for the per-row block factorizations; nullptr → the process-wide
+  // util::shared_pool(). Determinism tests pass their own fixed-size pool.
+  util::ThreadPool* pool = nullptr;
+};
+
+// Per-matchline outcome of one array search.
+struct ArrayRowResult {
+  bool matched = false;  // ML above the sense level at the strobe
+  double latency = 0.0;  // SL edge → ML crossing the sense level (s)
+  double ml_final = 0.0;
+  double ml_min = 0.0;  // minimum after the SL edge
+};
+
+struct ArraySearchMetrics {
+  bool ok = false;
+  std::vector<ArrayRowResult> rows;
+  int match_count = 0;
+  double energy = 0.0;  // whole-array net source energy (J)
+  // Solver-effort telemetry.
+  std::size_t steps = 0;
+  std::size_t steps_rejected = 0;
+  std::size_t newton_iters = 0;
+  std::size_t erc_errors = 0;
+  std::size_t erc_warnings = 0;
+  std::size_t stamp_pattern_builds = 0;  // replay ⇒ unchanged
+  // BBD telemetry: solver actually in use at measurement time (a
+  // partition-mismatch fallback clears used_bbd and bumps bbd_fallbacks).
+  bool used_bbd = false;
+  std::size_t bbd_blocks = 0;
+  std::size_t bbd_border = 0;
+  std::uint64_t bbd_fallbacks = 0;
+  std::string note;
+};
+
+// Design-independent array scaffolding: VDD/precharge rails, N matchlines
+// with precharge PMOS and wire parasitics, M segmented SL/SL̄ ladders
+// driven per the key. Owner bookkeeping: the fixture claims its own
+// devices as it builds; the template claims each row's cells; everything
+// left unclaimed when install_partition() runs is shared (border).
+class ArrayFixture {
+ public:
+  ArrayFixture(const Calibration& cal, const CellGeometry& geo, int rows,
+               int width, const core::TernaryWord& key,
+               const ArrayOptions& opt);
+
+  spice::Circuit& circuit() noexcept { return circuit_; }
+  int rows() const noexcept { return rows_; }
+  int width() const noexcept { return width_; }
+  spice::NodeId vdd() const noexcept { return vdd_; }
+  spice::NodeId ml(int row) const {
+    return ml_.at(static_cast<std::size_t>(row));
+  }
+  // The searchline tap row `row` connects to: the RC-ladder section node
+  // nearest that row.
+  spice::NodeId sl(int row, int col) const;
+  spice::NodeId slb(int row, int col) const;
+  double t_edge() const noexcept { return t_edge_; }
+  double t_end() const noexcept { return t_end_; }
+
+  erc::Checker& checker() noexcept { return checker_; }
+  const erc::Report& check();
+
+  // Marks every device added since the previous claim as belonging to
+  // `owner`: a block id in [0, n_owners()) or -1 = shared.
+  void claim(int owner);
+  // Owner ids under the selected partition axis. ByColumn: a cell, its
+  // column's ladder wire and both its drivers all belong to block `col`;
+  // per-row hardware (precharge PMOS, ML wire C) is shared. ByRow: a
+  // cell and the row hardware belong to block `row`, the ladder wire is
+  // shared, and each driver's branch unknown forms its own 1×1 block so
+  // the border holds only genuinely shared nodes.
+  int cell_owner(int row, int col) const {
+    return opt_.partition == ArrayPartition::ByColumn ? col : row;
+  }
+  int row_hw_owner(int row) const {
+    return opt_.partition == ArrayPartition::ByColumn ? -1 : row;
+  }
+  int line_owner(int col) const {
+    return opt_.partition == ArrayPartition::ByColumn ? col : -1;
+  }
+  int sl_driver_owner(int col) const {
+    return opt_.partition == ArrayPartition::ByColumn ? col : rows_ + 2 * col;
+  }
+  int slb_driver_owner(int col) const {
+    return opt_.partition == ArrayPartition::ByColumn ? col
+                                                      : rows_ + 2 * col + 1;
+  }
+  int n_owners() const {
+    return opt_.partition == ArrayPartition::ByColumn ? width_
+                                                      : rows_ + 2 * width_;
+  }
+
+  // Derives the BBD partition from the claimed owners and installs it on
+  // the circuit's solver cache (no-op when options disable BBD). Call
+  // after the last device is added.
+  void install_partition();
+
+  // ERC gate (when enabled) + transient over the search timeline, probing
+  // every matchline.
+  spice::TransientResult run(double dt_max = 20e-12);
+
+  // Re-aims all 2M searchline drivers at a new key (waveform rebind; no
+  // topology change, the partition and factorization pattern survive).
+  void rebind_key(const core::TernaryWord& key);
+
+  ArraySearchMetrics metrics(const spice::TransientResult& result,
+                             double strobe_delay);
+
+ private:
+  Calibration cal_;
+  ArrayOptions opt_;
+  int rows_ = 0;
+  int width_ = 0;
+  int n_segments_ = 1;
+  erc::Checker checker_;
+  std::optional<erc::Report> report_;
+  spice::Circuit circuit_;
+  spice::NodeId vdd_{};
+  std::vector<spice::NodeId> ml_;
+  // [col][segment] ladder nodes; segment 0 carries the driver.
+  std::vector<std::vector<spice::NodeId>> sl_seg_;
+  std::vector<std::vector<spice::NodeId>> slb_seg_;
+  std::vector<int> seg_of_row_;
+  std::vector<int> rows_in_seg_;
+  std::vector<int> owner_of_device_;
+  double c_vline_ = 0.0;  // per-cell vertical-wire C (F)
+  double r_vline_ = 0.0;  // per-cell vertical-wire R (Ω)
+  double t_edge_ = 0.0;
+  double t_end_ = 0.0;
+
+  std::vector<spice::NodeId> build_ladder(const std::string& name,
+                                          double v_drive, int driver_owner,
+                                          int wire_owner);
+};
+
+// Elaborate-once / replay-many N×M array built from the same per-kind
+// SearchTemplateSpec a single-row SearchTemplate uses (RowSpecs.h
+// factories): same cells, same binder, same ERC hooks — the spec's
+// array_rules run once per row with the row's scope and matchline.
+class ArrayTemplate {
+ public:
+  ArrayTemplate(SearchTemplateSpec spec, int rows, int width,
+                ArrayOptions opt = {});
+
+  int rows() const noexcept { return rows_; }
+  int width() const noexcept { return width_; }
+
+  // Replaces row `row`'s stored word. The next search rebuilds the
+  // template (ERC rules and cached report are bound to the stored image).
+  void store(int row, const core::TernaryWord& word);
+  const core::TernaryWord& stored(int row) const {
+    return stored_.at(static_cast<std::size_t>(row));
+  }
+
+  // Searches every row against `key` in one coupled transient.
+  // strobe_delay < 0 → the spec's nominal strobe scaled for this width.
+  ArraySearchMetrics search(const core::TernaryWord& key,
+                            double strobe_delay = -1.0, double dt_max = 20e-12);
+
+  // Nominal sense strobe for this width (spec.t_strobe at the 64-bit
+  // reference, scaled as TcamRow::strobe_scale does).
+  double default_strobe() const {
+    return spec_.t_strobe * (0.25 + 0.75 * static_cast<double>(width_) / 64.0);
+  }
+
+  std::uint64_t builds() const noexcept { return builds_; }
+  const SearchTemplateSpec& spec() const noexcept { return spec_; }
+  // For telemetry assertions and in-place circuit mutation (fault
+  // injection between searches); null before the first search.
+  const ArrayFixture* fixture() const noexcept { return fx_.get(); }
+  ArrayFixture* fixture() noexcept { return fx_.get(); }
+
+ private:
+  void build(const core::TernaryWord& key);
+
+  SearchTemplateSpec spec_;
+  int rows_;
+  int width_;
+  ArrayOptions opt_;
+  std::unique_ptr<ArrayFixture> fx_;
+  std::vector<std::vector<hier::InstanceHandles>> cells_;  // [row][col]
+  std::vector<core::TernaryWord> stored_;
+  core::TernaryWord built_key_;
+  std::vector<core::TernaryWord> built_stored_;
+  std::uint64_t builds_ = 0;
+};
+
+}  // namespace nemtcam::tcam

@@ -31,6 +31,9 @@ struct Calibration {
   // Lithography + wiring.
   double feature_m = 45e-9;        // F
   double c_wire_per_m = 0.2e-9;    // wire capacitance (F/m) = 0.2 fF/µm
+  double r_wire_per_m = 2.0e6;     // wire resistance (Ω/m) = 2 Ω/µm — thin
+                                   // intermediate-level metal; used by the
+                                   // array's distributed SL/BL RC ladders
   double c_ml_sense_load = 0.5e-15;  // ML sense-amp input load (F)
   double c_driver_load = 0.3e-15;    // driver diffusion load per line (F)
   // RRAM electrode plate capacitance presented to the matchline per cell
@@ -128,6 +131,11 @@ struct Calibration {
   // A vertical line (BL, SL) crossing one cell of geometry g.
   double c_vline_per_cell(const CellGeometry& g) const {
     return c_wire_per_m * cell_pitch_h(g);
+  }
+  // Series resistance of a vertical line across one cell of geometry g
+  // (the per-segment resistance of the array's distributed line model).
+  double r_vline_per_cell(const CellGeometry& g) const {
+    return r_wire_per_m * cell_pitch_h(g);
   }
 
   static const Calibration& standard() {

@@ -10,6 +10,7 @@
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/RowSpecs.h"
 #include "tcam/SearchTemplate.h"
 
 namespace nemtcam::tcam {
@@ -27,53 +28,64 @@ const CellGeometry kGeo{14.0, 10.0};  // 140 F²
 Dtcam5TRow::Dtcam5TRow(int width, int array_rows, const Calibration& cal)
     : TcamRow(width, array_rows, cal) {}
 
-Dtcam5TRow::StoredLevels Dtcam5TRow::levels_for(Ternary t) const {
-  const double high = cal().v_store_one;
+Dtcam5TRow::StoredLevels Dtcam5TRow::levels_for(Ternary t, double v_high) {
   switch (t) {
-    case Ternary::One: return {high, 0.0};
-    case Ternary::Zero: return {0.0, high};
+    case Ternary::One: return {v_high, 0.0};
+    case Ternary::Zero: return {0.0, v_high};
     case Ternary::X: return {0.0, 0.0};
   }
   return {0.0, 0.0};
 }
 
+Dtcam5TRow::StoredLevels Dtcam5TRow::levels_for(Ternary t) const {
+  return levels_for(t, cal().v_store_one);
+}
+
+SearchTemplateSpec dtcam5t_search_spec(const Calibration& c) {
+  SearchTemplateSpec spec;
+  spec.cal = c;
+  spec.geo = kGeo;
+  // The stored level (~0.76 V) drives the top compare device with less
+  // overdrive than the SRAM's full-rail latch, so this design is a bit
+  // slower than the 16T: give the strobe headroom.
+  spec.t_strobe = c.t_strobe_sram * 1.5;
+  spec.cell.name = "dtcam5t_cell";
+  spec.cell.ports = {"ml", "sl", "slb", "bl", "blb", "wl"};
+  const auto fet = [](MosfetParams mp) {
+    return [mp](Circuit& k, const std::string& n,
+                const std::vector<NodeId>& nd,
+                const hier::ParamEnv&) -> spice::Device& {
+      return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
+    };
+  };
+  spec.cell.emit("Tw1", {"stg1", "wl", "bl"}, fet(c.nem_write_nmos()));
+  spec.cell.emit("Tw2", {"stg2", "wl", "blb"}, fet(c.nem_write_nmos()));
+  const MosfetParams cmp = MosfetParams::nmos_lp(c.w_sram_cmp);
+  spec.cell.emit("Mc1", {"ml", "stg1", "cmpa"}, fet(cmp));
+  spec.cell.emit("Mc2", {"cmpa", "slb", "0"}, fet(cmp));
+  spec.cell.emit("Mc3", {"ml", "stg2", "cmpb"}, fet(cmp));
+  spec.cell.emit("Mc4", {"cmpb", "sl", "0"}, fet(cmp));
+  spec.bind = [high = c.v_store_one](Circuit& ckt,
+                                     const hier::InstanceHandles& cell,
+                                     Ternary t) {
+    const Dtcam5TRow::StoredLevels lv = Dtcam5TRow::levels_for(t, high);
+    ckt.set_ic(cell.node_at("stg1"), lv.v1);
+    ckt.set_ic(cell.node_at("stg2"), lv.v2);
+  };
+  spec.array_rules = [](const ArrayRowContext& rc, const TernaryWord&) {
+    rc.checker.add_rule(erc::ml_fanin_rule(rc.ml, rc.vdd, 2 * rc.width));
+  };
+  return spec;
+}
+
 SearchMetrics Dtcam5TRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
   if (hier::default_enabled()) {
-    if (!search_tpl_) {
-      SearchTemplateSpec spec;
-      spec.cal = c;
-      spec.geo = kGeo;
-      spec.cell.name = "dtcam5t_cell";
-      spec.cell.ports = {"ml", "sl", "slb", "bl", "blb", "wl"};
-      const auto fet = [](MosfetParams mp) {
-        return [mp](Circuit& k, const std::string& n,
-                    const std::vector<NodeId>& nd,
-                    const hier::ParamEnv&) -> spice::Device& {
-          return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
-        };
-      };
-      spec.cell.emit("Tw1", {"stg1", "wl", "bl"}, fet(c.nem_write_nmos()));
-      spec.cell.emit("Tw2", {"stg2", "wl", "blb"}, fet(c.nem_write_nmos()));
-      const MosfetParams cmp = MosfetParams::nmos_lp(c.w_sram_cmp);
-      spec.cell.emit("Mc1", {"ml", "stg1", "cmpa"}, fet(cmp));
-      spec.cell.emit("Mc2", {"cmpa", "slb", "0"}, fet(cmp));
-      spec.cell.emit("Mc3", {"ml", "stg2", "cmpb"}, fet(cmp));
-      spec.cell.emit("Mc4", {"cmpb", "sl", "0"}, fet(cmp));
-      spec.bind = [this](Circuit& ckt, const hier::InstanceHandles& cell,
-                         Ternary t) {
-        const StoredLevels lv = levels_for(t);
-        ckt.set_ic(cell.node_at("stg1"), lv.v1);
-        ckt.set_ic(cell.node_at("stg2"), lv.v2);
-      };
-      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
-        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * w));
-      };
-      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
-                                                     array_rows());
-    }
+    if (!search_tpl_)
+      search_tpl_ = std::make_unique<SearchTemplate>(dtcam5t_search_spec(c),
+                                                     width(), array_rows());
     return search_tpl_->search(key, stored_,
-                               c.t_strobe_sram * strobe_scale() * 1.5);
+                               search_tpl_->spec().t_strobe * strobe_scale());
   }
 
   SearchFixture fx(c, kGeo, width(), array_rows(), key);

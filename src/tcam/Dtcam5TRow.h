@@ -39,16 +39,17 @@ class Dtcam5TRow final : public TcamRow {
   // energy/blocked time and the array refresh power (rows × E / retention).
   RefreshMetrics row_refresh_cost();
 
- protected:
-  WriteMetrics simulate_write(const TernaryWord& old_word,
-                              const TernaryWord& new_word) override;
-
- private:
   struct StoredLevels {
     double v1;
     double v2;
   };
+  static StoredLevels levels_for(Ternary t, double v_high);
   StoredLevels levels_for(Ternary t) const;
+
+ protected:
+  WriteMetrics simulate_write(const TernaryWord& old_word,
+                              const TernaryWord& new_word) override;
+
 };
 
 }  // namespace nemtcam::tcam

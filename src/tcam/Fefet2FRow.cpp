@@ -10,6 +10,7 @@
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/RowSpecs.h"
 #include "tcam/SearchTemplate.h"
 
 namespace nemtcam::tcam {
@@ -31,41 +32,45 @@ Fefet2FRow::FefetStates Fefet2FRow::states_for(Ternary t) {
   return {false, false};
 }
 
+SearchTemplateSpec fefet2f_search_spec(const Calibration& c) {
+  FefetParams fp;
+  fp.fet = MosfetParams::nmos_lp(c.w_fefet);
+
+  SearchTemplateSpec spec;
+  spec.cal = c;
+  spec.geo = c.geo_fefet;
+  spec.t_strobe = c.t_strobe_fefet;
+  spec.cell.name = "fefet2f_cell";
+  spec.cell.ports = {"ml", "sl", "slb"};
+  const auto fefet = [fp](Circuit& k, const std::string& n,
+                          const std::vector<spice::NodeId>& nd,
+                          const hier::ParamEnv&) -> spice::Device& {
+    return k.add<Fefet>(n, nd[0], nd[1], nd[2], fp);
+  };
+  spec.cell.emit("F1", {"ml", "sl", "0"}, fefet);
+  spec.cell.emit("F2", {"ml", "slb", "0"}, fefet);
+  spec.bind = [](Circuit&, const hier::InstanceHandles& cell, Ternary t) {
+    const Fefet2FRow::FefetStates st = Fefet2FRow::states_for(t);
+    auto* f1 = dynamic_cast<Fefet*>(cell.device("F1"));
+    auto* f2 = dynamic_cast<Fefet*>(cell.device("F2"));
+    NEMTCAM_EXPECT(f1 != nullptr && f2 != nullptr);
+    f1->set_low_vth(st.f1_low_vth);
+    f2->set_low_vth(st.f2_low_vth);
+  };
+  spec.array_rules = [](const ArrayRowContext& rc, const TernaryWord&) {
+    rc.checker.add_rule(erc::ml_fanin_rule(rc.ml, rc.vdd, 2 * rc.width));
+  };
+  return spec;
+}
+
 SearchMetrics Fefet2FRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
   if (hier::default_enabled()) {
-    if (!search_tpl_) {
-      FefetParams fp;
-      fp.fet = MosfetParams::nmos_lp(c.w_fefet);
-
-      SearchTemplateSpec spec;
-      spec.cal = c;
-      spec.geo = c.geo_fefet;
-      spec.cell.name = "fefet2f_cell";
-      spec.cell.ports = {"ml", "sl", "slb"};
-      const auto fefet = [fp](Circuit& k, const std::string& n,
-                              const std::vector<spice::NodeId>& nd,
-                              const hier::ParamEnv&) -> spice::Device& {
-        return k.add<Fefet>(n, nd[0], nd[1], nd[2], fp);
-      };
-      spec.cell.emit("F1", {"ml", "sl", "0"}, fefet);
-      spec.cell.emit("F2", {"ml", "slb", "0"}, fefet);
-      spec.bind = [](Circuit&, const hier::InstanceHandles& cell, Ternary t) {
-        const FefetStates st = states_for(t);
-        auto* f1 = dynamic_cast<Fefet*>(cell.device("F1"));
-        auto* f2 = dynamic_cast<Fefet*>(cell.device("F2"));
-        NEMTCAM_EXPECT(f1 != nullptr && f2 != nullptr);
-        f1->set_low_vth(st.f1_low_vth);
-        f2->set_low_vth(st.f2_low_vth);
-      };
-      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
-        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * w));
-      };
-      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
-                                                     array_rows());
-    }
+    if (!search_tpl_)
+      search_tpl_ = std::make_unique<SearchTemplate>(fefet2f_search_spec(c),
+                                                     width(), array_rows());
     return search_tpl_->search(key, stored_,
-                               c.t_strobe_fefet * strobe_scale());
+                               search_tpl_->spec().t_strobe * strobe_scale());
   }
 
   SearchFixture fx(c, c.geo_fefet, width(), array_rows(), key);

@@ -23,16 +23,16 @@ class Fefet2FRow final : public TcamRow {
 
   SearchMetrics search(const TernaryWord& key) override;
 
- protected:
-  WriteMetrics simulate_write(const TernaryWord& old_word,
-                              const TernaryWord& new_word) override;
-
- private:
   struct FefetStates {
     bool f1_low_vth;
     bool f2_low_vth;
   };
   static FefetStates states_for(Ternary t);
+
+ protected:
+  WriteMetrics simulate_write(const TernaryWord& old_word,
+                              const TernaryWord& new_word) override;
+
 };
 
 }  // namespace nemtcam::tcam

@@ -11,6 +11,7 @@
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/RowSpecs.h"
 #include "tcam/SearchTemplate.h"
 
 namespace nemtcam::tcam {
@@ -37,69 +38,75 @@ Fefet4T2FRow::FefetStates Fefet4T2FRow::states_for(Ternary t) {
   return {false, false};
 }
 
+SearchTemplateSpec fefet4t2f_search_spec(const Calibration& c) {
+  FefetParams fp;
+  fp.fet = MosfetParams::nmos_lp(c.w_fefet);
+
+  SearchTemplateSpec spec;
+  spec.cal = c;
+  spec.geo = kGeo;
+  // The gated read path adds a series device to every discharge stack.
+  spec.t_strobe = c.t_strobe_fefet * 1.6;
+  spec.cell.name = "fefet4t2f_cell";
+  spec.cell.ports = {"ml", "sl", "slb", "wl", "rd"};
+  // Shared rails: the read bias and the always-on read wordline feed
+  // every cell's access devices through the "rd"/"wl" ports. In an array
+  // they are built once and shared by all rows.
+  spec.shared_rails = [vdd_level = c.vdd, v_wl = c.v_wl_write](
+                          Circuit& ckt, NodeId) {
+    const NodeId rd = ckt.node("rd");
+    ckt.add<VSource>("Vrd", rd, ckt.ground(), vdd_level);
+    ckt.set_ic(rd, vdd_level);
+    const NodeId wl = ckt.node("wl_rd");
+    ckt.add<VSource>("Vwl_rd", wl, ckt.ground(), v_wl);
+    ckt.set_ic(wl, v_wl);
+    return std::map<std::string, NodeId>{{"rd", rd}, {"wl", wl}};
+  };
+  const auto fet = [](MosfetParams mp) {
+    return [mp](Circuit& k, const std::string& n,
+                const std::vector<NodeId>& nd,
+                const hier::ParamEnv&) -> spice::Device& {
+      return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
+    };
+  };
+  spec.cell.emit("Ma", {"ml", "sl", "mida"},
+                 fet(MosfetParams::nmos_lp(c.w_fefet)));
+  spec.cell.emit("Mb", {"ml", "slb", "midb"},
+                 fet(MosfetParams::nmos_lp(c.w_fefet)));
+  spec.cell.emit("Tacc_a", {"fga", "wl", "rd"}, fet(c.nem_write_nmos()));
+  spec.cell.emit("Tacc_b", {"fgb", "wl", "rd"}, fet(c.nem_write_nmos()));
+  const auto fefet = [fp](Circuit& k, const std::string& n,
+                          const std::vector<NodeId>& nd,
+                          const hier::ParamEnv&) -> spice::Device& {
+    return k.add<Fefet>(n, nd[0], nd[1], nd[2], fp);
+  };
+  spec.cell.emit("Fa", {"mida", "fga", "0"}, fefet);
+  spec.cell.emit("Fb", {"midb", "fgb", "0"}, fefet);
+  spec.bind = [vdd = c.vdd](Circuit& ckt, const hier::InstanceHandles& cell,
+                            Ternary t) {
+    const Fefet4T2FRow::FefetStates st = Fefet4T2FRow::states_for(t);
+    auto* fa = dynamic_cast<Fefet*>(cell.device("Fa"));
+    auto* fb = dynamic_cast<Fefet*>(cell.device("Fb"));
+    NEMTCAM_EXPECT(fa != nullptr && fb != nullptr);
+    fa->set_low_vth(st.fa_low_vth);
+    fb->set_low_vth(st.fb_low_vth);
+    ckt.set_ic(cell.node_at("fga"), vdd);
+    ckt.set_ic(cell.node_at("fgb"), vdd);
+  };
+  spec.array_rules = [](const ArrayRowContext& rc, const TernaryWord&) {
+    rc.checker.add_rule(erc::ml_fanin_rule(rc.ml, rc.vdd, 2 * rc.width));
+  };
+  return spec;
+}
+
 SearchMetrics Fefet4T2FRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
   if (hier::default_enabled()) {
-    if (!search_tpl_) {
-      FefetParams fp;
-      fp.fet = MosfetParams::nmos_lp(c.w_fefet);
-
-      SearchTemplateSpec spec;
-      spec.cal = c;
-      spec.geo = kGeo;
-      spec.cell.name = "fefet4t2f_cell";
-      spec.cell.ports = {"ml", "sl", "slb", "wl", "rd"};
-      // Shared rails: the read bias and the always-on read wordline feed
-      // every cell's access devices through the "rd"/"wl" ports.
-      spec.prelude = [c](SearchFixture& fx) {
-        Circuit& ckt = fx.circuit();
-        const NodeId rd = ckt.node("rd");
-        ckt.add<VSource>("Vrd", rd, ckt.ground(), c.vdd);
-        ckt.set_ic(rd, c.vdd);
-        const NodeId wl = ckt.node("wl_rd");
-        ckt.add<VSource>("Vwl_rd", wl, ckt.ground(), c.v_wl_write);
-        ckt.set_ic(wl, c.v_wl_write);
-        return std::map<std::string, NodeId>{{"rd", rd}, {"wl", wl}};
-      };
-      const auto fet = [](MosfetParams mp) {
-        return [mp](Circuit& k, const std::string& n,
-                    const std::vector<NodeId>& nd,
-                    const hier::ParamEnv&) -> spice::Device& {
-          return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
-        };
-      };
-      spec.cell.emit("Ma", {"ml", "sl", "mida"},
-                     fet(MosfetParams::nmos_lp(c.w_fefet)));
-      spec.cell.emit("Mb", {"ml", "slb", "midb"},
-                     fet(MosfetParams::nmos_lp(c.w_fefet)));
-      spec.cell.emit("Tacc_a", {"fga", "wl", "rd"}, fet(c.nem_write_nmos()));
-      spec.cell.emit("Tacc_b", {"fgb", "wl", "rd"}, fet(c.nem_write_nmos()));
-      const auto fefet = [fp](Circuit& k, const std::string& n,
-                              const std::vector<NodeId>& nd,
-                              const hier::ParamEnv&) -> spice::Device& {
-        return k.add<Fefet>(n, nd[0], nd[1], nd[2], fp);
-      };
-      spec.cell.emit("Fa", {"mida", "fga", "0"}, fefet);
-      spec.cell.emit("Fb", {"midb", "fgb", "0"}, fefet);
-      spec.bind = [vdd = c.vdd](Circuit& ckt,
-                                const hier::InstanceHandles& cell, Ternary t) {
-        const FefetStates st = states_for(t);
-        auto* fa = dynamic_cast<Fefet*>(cell.device("Fa"));
-        auto* fb = dynamic_cast<Fefet*>(cell.device("Fb"));
-        NEMTCAM_EXPECT(fa != nullptr && fb != nullptr);
-        fa->set_low_vth(st.fa_low_vth);
-        fb->set_low_vth(st.fb_low_vth);
-        ckt.set_ic(cell.node_at("fga"), vdd);
-        ckt.set_ic(cell.node_at("fgb"), vdd);
-      };
-      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
-        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * w));
-      };
-      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
-                                                     array_rows());
-    }
+    if (!search_tpl_)
+      search_tpl_ = std::make_unique<SearchTemplate>(fefet4t2f_search_spec(c),
+                                                     width(), array_rows());
     return search_tpl_->search(key, stored_,
-                               c.t_strobe_fefet * strobe_scale() * 1.6);
+                               search_tpl_->spec().t_strobe * strobe_scale());
   }
 
   SearchFixture fx(c, kGeo, width(), array_rows(), key);

@@ -25,16 +25,16 @@ class Fefet4T2FRow final : public TcamRow {
 
   SearchMetrics search(const TernaryWord& key) override;
 
- protected:
-  WriteMetrics simulate_write(const TernaryWord& old_word,
-                              const TernaryWord& new_word) override;
-
- private:
   struct FefetStates {
     bool fa_low_vth;
     bool fb_low_vth;
   };
   static FefetStates states_for(Ternary t);
+
+ protected:
+  WriteMetrics simulate_write(const TernaryWord& old_word,
+                              const TernaryWord& new_word) override;
+
 };
 
 }  // namespace nemtcam::tcam

@@ -33,6 +33,7 @@ class SearchFixture {
                 double c_sl_gate_per_row = 0.0);
 
   spice::Circuit& circuit() noexcept { return circuit_; }
+  int width() const noexcept { return static_cast<int>(sl_.size()); }
   spice::NodeId vdd() const noexcept { return vdd_; }
   spice::NodeId ml() const noexcept { return ml_; }
   spice::NodeId sl(int col) const { return sl_.at(static_cast<std::size_t>(col)); }

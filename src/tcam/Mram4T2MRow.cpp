@@ -11,6 +11,7 @@
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/RowSpecs.h"
 #include "tcam/SearchTemplate.h"
 
 namespace nemtcam::tcam {
@@ -48,49 +49,59 @@ Mram4T2MRow::MtjStates Mram4T2MRow::states_for(Ternary t) {
   return {false, false};
 }
 
+SearchTemplateSpec mram4t2m_search_spec(const Calibration& cal) {
+  // The TMR-limited sense overdrive makes this by far the slowest search;
+  // it needs a longer observation window than the CMOS-strength designs.
+  Calibration c = cal;
+  c.t_search_window = 10e-9;
+
+  SearchTemplateSpec spec;
+  spec.cal = c;  // carries the stretched search window
+  spec.geo = kGeo;
+  spec.t_strobe = 6e-9;
+  spec.cell.name = "mram4t2m_cell";
+  spec.cell.ports = {"ml", "sl", "slb"};
+  const auto mtj = [](Circuit& k, const std::string& n,
+                      const std::vector<NodeId>& nd,
+                      const hier::ParamEnv&) -> spice::Device& {
+    return k.add<Mtj>(n, nd[0], nd[1]);
+  };
+  spec.cell.emit("M1", {"sl", "mid"}, mtj);
+  spec.cell.emit("M2", {"mid", "slb"}, mtj);
+  const auto fet = [](MosfetParams mp) {
+    return [mp](Circuit& k, const std::string& n,
+                const std::vector<NodeId>& nd,
+                const hier::ParamEnv&) -> spice::Device& {
+      return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
+    };
+  };
+  spec.cell.emit("Ts", {"ml", "mid", "0"}, fet(sense_fet(2.0)));
+  spec.cell.emit("Tacc", {"mid", "0", "0"}, fet(c.nem_write_nmos()));
+  spec.bind = [](Circuit&, const hier::InstanceHandles& cell, Ternary t) {
+    const Mram4T2MRow::MtjStates st = Mram4T2MRow::states_for(t);
+    auto* m1 = dynamic_cast<Mtj*>(cell.device("M1"));
+    auto* m2 = dynamic_cast<Mtj*>(cell.device("M2"));
+    NEMTCAM_EXPECT(m1 != nullptr && m2 != nullptr);
+    m1->set_parallel(st.m1_parallel);
+    m2->set_parallel(st.m2_parallel);
+  };
+  spec.array_rules = [](const ArrayRowContext& rc, const TernaryWord&) {
+    rc.checker.add_rule(erc::ml_fanin_rule(rc.ml, rc.vdd, rc.width));
+  };
+  return spec;
+}
+
 SearchMetrics Mram4T2MRow::search(const TernaryWord& key) {
   // The TMR-limited sense overdrive makes this by far the slowest search;
   // it needs a longer observation window than the CMOS-strength designs.
   Calibration c = cal();
   c.t_search_window = 10e-9;
   if (hier::default_enabled()) {
-    if (!search_tpl_) {
-      SearchTemplateSpec spec;
-      spec.cal = c;  // carries the stretched search window
-      spec.geo = kGeo;
-      spec.cell.name = "mram4t2m_cell";
-      spec.cell.ports = {"ml", "sl", "slb"};
-      const auto mtj = [](Circuit& k, const std::string& n,
-                          const std::vector<NodeId>& nd,
-                          const hier::ParamEnv&) -> spice::Device& {
-        return k.add<Mtj>(n, nd[0], nd[1]);
-      };
-      spec.cell.emit("M1", {"sl", "mid"}, mtj);
-      spec.cell.emit("M2", {"mid", "slb"}, mtj);
-      const auto fet = [](MosfetParams mp) {
-        return [mp](Circuit& k, const std::string& n,
-                    const std::vector<NodeId>& nd,
-                    const hier::ParamEnv&) -> spice::Device& {
-          return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
-        };
-      };
-      spec.cell.emit("Ts", {"ml", "mid", "0"}, fet(sense_fet(2.0)));
-      spec.cell.emit("Tacc", {"mid", "0", "0"}, fet(c.nem_write_nmos()));
-      spec.bind = [](Circuit&, const hier::InstanceHandles& cell, Ternary t) {
-        const MtjStates st = states_for(t);
-        auto* m1 = dynamic_cast<Mtj*>(cell.device("M1"));
-        auto* m2 = dynamic_cast<Mtj*>(cell.device("M2"));
-        NEMTCAM_EXPECT(m1 != nullptr && m2 != nullptr);
-        m1->set_parallel(st.m1_parallel);
-        m2->set_parallel(st.m2_parallel);
-      };
-      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
-        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), w));
-      };
-      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
-                                                     array_rows());
-    }
-    return search_tpl_->search(key, stored_, 6e-9 * strobe_scale());
+    if (!search_tpl_)
+      search_tpl_ = std::make_unique<SearchTemplate>(
+          mram4t2m_search_spec(cal()), width(), array_rows());
+    return search_tpl_->search(key, stored_,
+                               search_tpl_->spec().t_strobe * strobe_scale());
   }
 
   SearchFixture fx(c, kGeo, width(), array_rows(), key);

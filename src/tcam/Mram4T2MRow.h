@@ -35,16 +35,16 @@ class Mram4T2MRow final : public TcamRow {
 
   SearchMetrics search(const TernaryWord& key) override;
 
- protected:
-  WriteMetrics simulate_write(const TernaryWord& old_word,
-                              const TernaryWord& new_word) override;
-
- private:
   struct MtjStates {
     bool m1_parallel;
     bool m2_parallel;
   };
   static MtjStates states_for(Ternary t);
+
+ protected:
+  WriteMetrics simulate_write(const TernaryWord& old_word,
+                              const TernaryWord& new_word) override;
+
 };
 
 }  // namespace nemtcam::tcam

@@ -11,6 +11,7 @@
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/RowSpecs.h"
 #include "tcam/SearchTemplate.h"
 #include "util/Random.h"
 
@@ -110,6 +111,35 @@ std::string hier_relay_name(const char* base, std::size_t col) {
 
 }  // namespace
 
+SearchTemplateSpec nem3t2n_search_spec(const Calibration& c) {
+  SearchTemplateSpec spec;
+  spec.cal = c;
+  spec.geo = c.geo_nem;
+  spec.t_strobe = c.t_strobe_nem;
+  spec.cell = nem_cell_def(c);
+  spec.bind = [v1 = c.v_store_one](Circuit& ckt,
+                                   const hier::InstanceHandles& cell,
+                                   Ternary t) {
+    bind_nem_cell(ckt, cell, t, v1);
+  };
+  spec.array_rules = [v_refresh = c.v_refresh](const ArrayRowContext& rc,
+                                               const TernaryWord& stored) {
+    rc.checker.add_rule(erc::ml_fanin_rule(rc.ml, rc.vdd, rc.width));
+    rc.checker.add_rule(erc::nem_pair_rule(
+        stored,
+        [scope = rc.scope](std::size_t col) {
+          return scope + hier_relay_name("N1", col);
+        },
+        [scope = rc.scope](std::size_t col) {
+          return scope + hier_relay_name("N2", col);
+        }));
+    // Window check inspects every relay in the circuit — once per array.
+    if (rc.row == 0)
+      rc.checker.add_rule(erc::relay_refresh_window_rule(v_refresh));
+  };
+  return spec;
+}
+
 // The elaborated write transaction: WL/BL/BL̄ drivers plus one cell per
 // column, built once. A replay rebinds the bitline waveforms to the new
 // word, re-seeds the relays from the old word, and reruns the transient
@@ -129,29 +159,11 @@ Nem3T2NRow::~Nem3T2NRow() = default;
 SearchMetrics Nem3T2NRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
   if (hier::default_enabled()) {
-    if (!search_tpl_) {
-      SearchTemplateSpec spec;
-      spec.cal = c;
-      spec.geo = c.geo_nem;
-      spec.cell = nem_cell_def(c);
-      spec.bind = [v1 = c.v_store_one](Circuit& ckt,
-                                       const hier::InstanceHandles& cell,
-                                       Ternary t) {
-        bind_nem_cell(ckt, cell, t, v1);
-      };
-      spec.rules = [c, w = width()](SearchFixture& fx,
-                                    const TernaryWord& stored) {
-        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), w));
-        fx.checker().add_rule(erc::nem_pair_rule(
-            stored, [](std::size_t col) { return hier_relay_name("N1", col); },
-            [](std::size_t col) { return hier_relay_name("N2", col); }));
-        fx.checker().add_rule(erc::relay_refresh_window_rule(c.v_refresh));
-      };
-      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
-                                                     array_rows());
-    }
+    if (!search_tpl_)
+      search_tpl_ = std::make_unique<SearchTemplate>(nem3t2n_search_spec(c),
+                                                     width(), array_rows());
     return search_tpl_->search(key, stored_,
-                               c.t_strobe_nem * strobe_scale());
+                               search_tpl_->spec().t_strobe * strobe_scale());
   }
 
   SearchFixture fx(c, c.geo_nem, width(), array_rows(), key);

@@ -1,0 +1,28 @@
+// Per-design search-transaction specs, factored out of the row classes so
+// both consumers can elaborate the same cells against the same hooks:
+//   - SearchTemplate builds ONE row (TcamRow's per-row methodology, line
+//     parasitics standing in for the rest of the array), and
+//   - ArrayTemplate tiles N rows of real cells on shared column lines
+//     (the column-coupled full-array path).
+// Each factory captures everything design-specific — the cell SubcktDef,
+// the state binder, shared rails, ML loading, strobe timing, ERC rules —
+// in one SearchTemplateSpec; the fixtures stay design-agnostic.
+#pragma once
+
+#include "tcam/SearchTemplate.h"
+#include "tcam/TcamRow.h"
+
+namespace nemtcam::tcam {
+
+SearchTemplateSpec sram16t_search_spec(const Calibration& cal);
+SearchTemplateSpec nem3t2n_search_spec(const Calibration& cal);
+SearchTemplateSpec rram2t2r_search_spec(const Calibration& cal);
+SearchTemplateSpec fefet2f_search_spec(const Calibration& cal);
+SearchTemplateSpec dtcam5t_search_spec(const Calibration& cal);
+SearchTemplateSpec fefet4t2f_search_spec(const Calibration& cal);
+SearchTemplateSpec mram4t2m_search_spec(const Calibration& cal);
+
+// Dispatch by kind (the per-kind factory, nothing else).
+SearchTemplateSpec search_spec_for(TcamKind kind, const Calibration& cal);
+
+}  // namespace nemtcam::tcam

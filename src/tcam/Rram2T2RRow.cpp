@@ -11,6 +11,7 @@
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/RowSpecs.h"
 #include "tcam/SearchTemplate.h"
 #include "util/Random.h"
 
@@ -34,55 +35,55 @@ Rram2T2RRow::RramStates Rram2T2RRow::states_for(Ternary t) {
   return {false, false};
 }
 
+SearchTemplateSpec rram2t2r_search_spec(const Calibration& c) {
+  SearchTemplateSpec spec;
+  spec.cal = c;
+  spec.geo = c.geo_rram;
+  spec.t_strobe = c.t_strobe_rram;
+  // RRAM MIM electrode plates load the matchline (two stacks per cell).
+  spec.c_ml_load_per_cell = c.c_rram_electrode;
+  spec.cell.name = "rram2t2r_cell";
+  spec.cell.ports = {"ml", "sl", "slb"};
+  const auto rram = [](Circuit& k, const std::string& n,
+                       const std::vector<NodeId>& nd,
+                       const hier::ParamEnv&) -> spice::Device& {
+    return k.add<Rram>(n, nd[0], nd[1], RramParams{});
+  };
+  spec.cell.emit("Ra", {"ml", "mida"}, rram);
+  spec.cell.emit("Rb", {"ml", "midb"}, rram);
+  const auto access = [mp = MosfetParams::nmos_lp(c.w_rram_access)](
+                          Circuit& k, const std::string& n,
+                          const std::vector<NodeId>& nd,
+                          const hier::ParamEnv&) -> spice::Device& {
+    return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
+  };
+  spec.cell.emit("Ma", {"mida", "sl", "0"}, access);
+  spec.cell.emit("Mb", {"midb", "slb", "0"}, access);
+  spec.bind = [](Circuit&, const hier::InstanceHandles& cell, Ternary t) {
+    const Rram2T2RRow::RramStates st = Rram2T2RRow::states_for(t);
+    auto* ra = dynamic_cast<Rram*>(cell.device("Ra"));
+    auto* rb = dynamic_cast<Rram*>(cell.device("Rb"));
+    NEMTCAM_EXPECT(ra != nullptr && rb != nullptr);
+    ra->set_state(st.a_lrs ? 1.0 : 0.0);
+    rb->set_state(st.b_lrs ? 1.0 : 0.0);
+  };
+  spec.array_rules = [](const ArrayRowContext& rc, const TernaryWord&) {
+    rc.checker.add_rule(erc::ml_fanin_rule(rc.ml, rc.vdd, 2 * rc.width));
+  };
+  return spec;
+}
+
 SearchMetrics Rram2T2RRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
   // The variation ablation draws fresh per-device lognormal resistances
   // every search, which defeats elaborate-once reuse; the template path
   // covers the (default) nominal case only.
   if (hier::default_enabled() && sigma_log_ == 0.0) {
-    if (!search_tpl_) {
-      SearchTemplateSpec spec;
-      spec.cal = c;
-      spec.geo = c.geo_rram;
-      spec.cell.name = "rram2t2r_cell";
-      spec.cell.ports = {"ml", "sl", "slb"};
-      // RRAM MIM electrode plates load the matchline (shared, not per cell).
-      spec.prelude = [cap = width() * c.c_rram_electrode](SearchFixture& fx) {
-        fx.circuit().add<Capacitor>("Cel_ml", fx.ml(), fx.circuit().ground(),
-                                    cap);
-        return std::map<std::string, NodeId>{};
-      };
-      const auto rram = [](Circuit& k, const std::string& n,
-                           const std::vector<NodeId>& nd,
-                           const hier::ParamEnv&) -> spice::Device& {
-        return k.add<Rram>(n, nd[0], nd[1], RramParams{});
-      };
-      spec.cell.emit("Ra", {"ml", "mida"}, rram);
-      spec.cell.emit("Rb", {"ml", "midb"}, rram);
-      const auto access = [mp = MosfetParams::nmos_lp(c.w_rram_access)](
-                              Circuit& k, const std::string& n,
-                              const std::vector<NodeId>& nd,
-                              const hier::ParamEnv&) -> spice::Device& {
-        return k.add<Mosfet>(n, nd[0], nd[1], nd[2], mp);
-      };
-      spec.cell.emit("Ma", {"mida", "sl", "0"}, access);
-      spec.cell.emit("Mb", {"midb", "slb", "0"}, access);
-      spec.bind = [](Circuit&, const hier::InstanceHandles& cell, Ternary t) {
-        const RramStates st = states_for(t);
-        auto* ra = dynamic_cast<Rram*>(cell.device("Ra"));
-        auto* rb = dynamic_cast<Rram*>(cell.device("Rb"));
-        NEMTCAM_EXPECT(ra != nullptr && rb != nullptr);
-        ra->set_state(st.a_lrs ? 1.0 : 0.0);
-        rb->set_state(st.b_lrs ? 1.0 : 0.0);
-      };
-      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
-        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * w));
-      };
-      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
-                                                     array_rows());
-    }
+    if (!search_tpl_)
+      search_tpl_ = std::make_unique<SearchTemplate>(rram2t2r_search_spec(c),
+                                                     width(), array_rows());
     return search_tpl_->search(key, stored_,
-                               c.t_strobe_rram * strobe_scale());
+                               search_tpl_->spec().t_strobe * strobe_scale());
   }
 
   SearchFixture fx(c, c.geo_rram, width(), array_rows(), key);

@@ -32,16 +32,17 @@ class Rram2T2RRow final : public TcamRow {
   void set_resistance_sigma(double sigma_log) { sigma_log_ = sigma_log; }
   void set_variation_seed(std::uint64_t seed) { seed_ = seed; }
 
- protected:
-  WriteMetrics simulate_write(const TernaryWord& old_word,
-                              const TernaryWord& new_word) override;
-
- private:
   struct RramStates {
     bool a_lrs;
     bool b_lrs;
   };
   static RramStates states_for(Ternary t);
+
+ protected:
+  WriteMetrics simulate_write(const TernaryWord& old_word,
+                              const TernaryWord& new_word) override;
+
+ private:
 
   double sigma_log_ = 0.0;
   std::uint64_t seed_ = 1;

@@ -1,5 +1,7 @@
 #include "tcam/SearchTemplate.h"
 
+#include "devices/Passive.h"
+
 namespace nemtcam::tcam {
 
 SearchTemplate::SearchTemplate(SearchTemplateSpec spec, int width,
@@ -18,7 +20,12 @@ void SearchTemplate::build(const core::TernaryWord& key,
   cells_.reserve(static_cast<std::size_t>(width_));
 
   std::map<std::string, spice::NodeId> extra;
-  if (spec_.prelude) extra = spec_.prelude(*fx_);
+  if (spec_.shared_rails)
+    extra = spec_.shared_rails(fx_->circuit(), fx_->vdd());
+  if (spec_.c_ml_load_per_cell > 0.0)
+    fx_->circuit().add<devices::Capacitor>("Cel_ml", fx_->ml(),
+                                           fx_->circuit().ground(),
+                                           width_ * spec_.c_ml_load_per_cell);
 
   static const hier::Library kEmptyLib;  // cells carry no nested instances
   for (int i = 0; i < width_; ++i) {
@@ -39,7 +46,10 @@ void SearchTemplate::build(const core::TernaryWord& key,
                                      spec_.cell.params));
   }
 
-  if (spec_.rules) spec_.rules(*fx_, stored);
+  if (spec_.array_rules)
+    spec_.array_rules(
+        ArrayRowContext{fx_->checker(), fx_->ml(), fx_->vdd(), 0, width_, ""},
+        stored);
   built_key_ = key;
   built_stored_ = stored;
   ++builds_;

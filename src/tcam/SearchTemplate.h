@@ -29,10 +29,33 @@
 
 namespace nemtcam::tcam {
 
+// Facts a design's array_rules hook needs to register its ERC rules for
+// one row: of an N-row array, or the single row of a SearchTemplate
+// (row 0, empty scope).
+struct ArrayRowContext {
+  erc::Checker& checker;
+  spice::NodeId ml;
+  spice::NodeId vdd;
+  int row = 0;
+  int width = 0;
+  // Instance-path prefix of this row's cells: cell c lives at
+  // "<scope>Xcell<c>" — scope is "" in a single-row template, "Xrow<r>."
+  // in an array.
+  std::string scope;
+};
+
 struct SearchTemplateSpec {
   Calibration cal;  // possibly a locally adjusted copy (e.g. MRAM window)
   CellGeometry geo;
   double c_sl_gate_per_row = 0.0;
+
+  // Nominal sense-strobe delay at the reference 64-bit width; callers
+  // scale it for other widths (TcamRow::strobe_scale).
+  double t_strobe = 0.0;
+
+  // Extra ML loading per cell beyond the wire parasitics the fixture
+  // already models (e.g. the RRAM MIM electrode plates).
+  double c_ml_load_per_cell = 0.0;
 
   // Per-column cell. Ports are bound by name: "ml", "vdd", "sl", "slb"
   // resolve to the fixture nets (sl/slb per column), names returned by the
@@ -41,10 +64,12 @@ struct SearchTemplateSpec {
   // grounded) and write (ML/SL grounded) transactions.
   hier::SubcktDef cell;
 
-  // Optional: builds design-specific shared nets (read rails, extra ML
-  // loading) after the fixture skeleton, before the cells. The returned
-  // names become bindable cell ports.
-  std::function<std::map<std::string, spice::NodeId>(SearchFixture&)> prelude;
+  // Optional: builds design-specific rails shared by every cell — and, in
+  // an array, by every row (read biases, always-on read wordlines). The
+  // returned names become bindable cell ports.
+  std::function<std::map<std::string, spice::NodeId>(spice::Circuit&,
+                                                     spice::NodeId vdd)>
+      shared_rails;
 
   // Seeds one elaborated cell with a stored trit: device-state pokes and
   // node ICs. Runs on the first build and on every replay (after
@@ -54,9 +79,12 @@ struct SearchTemplateSpec {
                      core::Ternary)>
       bind;
 
-  // Optional: registers design-specific ERC rules (first build only; the
-  // fixture caches the report for replays).
-  std::function<void(SearchFixture&, const core::TernaryWord& stored)> rules;
+  // Optional: registers design-specific ERC rules for one row (first
+  // build only; the fixture caches the report for replays). Rules that
+  // inspect the whole circuit rather than one row's devices (the relay
+  // refresh window) should register only for row 0.
+  std::function<void(const ArrayRowContext&, const core::TernaryWord& stored)>
+      array_rules;
 };
 
 class SearchTemplate {
@@ -70,6 +98,8 @@ class SearchTemplate {
   // How many times the underlying circuit was (re)built — for the
   // zero-reconstruction assertions.
   std::uint64_t builds() const noexcept { return builds_; }
+
+  const SearchTemplateSpec& spec() const noexcept { return spec_; }
 
  private:
   void build(const core::TernaryWord& key, const core::TernaryWord& stored);

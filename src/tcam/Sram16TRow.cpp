@@ -10,6 +10,7 @@
 #include "spice/Transient.h"
 #include "spice/Waveform.h"
 #include "tcam/Harness.h"
+#include "tcam/RowSpecs.h"
 #include "tcam/SearchTemplate.h"
 
 namespace nemtcam::tcam {
@@ -110,32 +111,35 @@ hier::SubcktDef sram_cell_def(const Calibration& c) {
 
 }  // namespace
 
+SearchTemplateSpec sram16t_search_spec(const Calibration& c) {
+  SearchTemplateSpec spec;
+  spec.cal = c;
+  spec.geo = c.geo_sram;
+  spec.c_sl_gate_per_row = c.c_sl_offgate_sram;
+  spec.t_strobe = c.t_strobe_sram;
+  spec.cell = sram_cell_def(c);
+  spec.bind = [vdd = c.vdd](Circuit& ckt, const hier::InstanceHandles& cell,
+                            Ternary t) {
+    const Sram16TRow::CellBits bits = Sram16TRow::bits_for(t);
+    seed_cell_state(ckt, cell.node_at("d1"), cell.node_at("d1b"), bits.d1,
+                    vdd);
+    seed_cell_state(ckt, cell.node_at("d2"), cell.node_at("d2b"), bits.d2,
+                    vdd);
+  };
+  spec.array_rules = [](const ArrayRowContext& rc, const TernaryWord&) {
+    rc.checker.add_rule(erc::ml_fanin_rule(rc.ml, rc.vdd, 2 * rc.width));
+  };
+  return spec;
+}
+
 SearchMetrics Sram16TRow::search(const TernaryWord& key) {
   const Calibration& c = cal();
   if (hier::default_enabled()) {
-    if (!search_tpl_) {
-      SearchTemplateSpec spec;
-      spec.cal = c;
-      spec.geo = c.geo_sram;
-      spec.c_sl_gate_per_row = c.c_sl_offgate_sram;
-      spec.cell = sram_cell_def(c);
-      spec.bind = [vdd = c.vdd](Circuit& ckt,
-                                const hier::InstanceHandles& cell,
-                                Ternary t) {
-        const CellBits bits = bits_for(t);
-        seed_cell_state(ckt, cell.node_at("d1"), cell.node_at("d1b"),
-                        bits.d1, vdd);
-        seed_cell_state(ckt, cell.node_at("d2"), cell.node_at("d2b"),
-                        bits.d2, vdd);
-      };
-      spec.rules = [w = width()](SearchFixture& fx, const TernaryWord&) {
-        fx.checker().add_rule(erc::ml_fanin_rule(fx.ml(), fx.vdd(), 2 * w));
-      };
-      search_tpl_ = std::make_unique<SearchTemplate>(std::move(spec), width(),
-                                                     array_rows());
-    }
+    if (!search_tpl_)
+      search_tpl_ = std::make_unique<SearchTemplate>(sram16t_search_spec(c),
+                                                     width(), array_rows());
     return search_tpl_->search(key, stored_,
-                               c.t_strobe_sram * strobe_scale());
+                               search_tpl_->spec().t_strobe * strobe_scale());
   }
 
   SearchFixture fx(c, c.geo_sram, width(), array_rows(), key,

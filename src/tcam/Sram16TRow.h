@@ -20,16 +20,16 @@ class Sram16TRow final : public TcamRow {
 
   SearchMetrics search(const TernaryWord& key) override;
 
- protected:
-  WriteMetrics simulate_write(const TernaryWord& old_word,
-                              const TernaryWord& new_word) override;
-
- private:
   struct CellBits {
     bool d1;
     bool d2;
   };
   static CellBits bits_for(Ternary t);
+
+ protected:
+  WriteMetrics simulate_write(const TernaryWord& old_word,
+                              const TernaryWord& new_word) override;
+
 };
 
 }  // namespace nemtcam::tcam

@@ -1,5 +1,6 @@
 #include "tcam/TcamRow.h"
 
+#include "tcam/RowSpecs.h"
 #include "tcam/SearchTemplate.h"
 
 #include "tcam/Dtcam5TRow.h"
@@ -67,6 +68,20 @@ std::unique_ptr<TcamRow> make_row(TcamKind kind, int width, int array_rows,
   }
   NEMTCAM_EXPECT_MSG(false, "unknown TcamKind");
   return nullptr;
+}
+
+SearchTemplateSpec search_spec_for(TcamKind kind, const Calibration& cal) {
+  switch (kind) {
+    case TcamKind::Sram16T: return sram16t_search_spec(cal);
+    case TcamKind::Nem3T2N: return nem3t2n_search_spec(cal);
+    case TcamKind::Rram2T2R: return rram2t2r_search_spec(cal);
+    case TcamKind::Fefet2F: return fefet2f_search_spec(cal);
+    case TcamKind::Dtcam5T: return dtcam5t_search_spec(cal);
+    case TcamKind::Fefet4T2F: return fefet4t2f_search_spec(cal);
+    case TcamKind::Mram4T2M: return mram4t2m_search_spec(cal);
+  }
+  NEMTCAM_EXPECT_MSG(false, "unknown TcamKind");
+  return {};
 }
 
 }  // namespace nemtcam::tcam

@@ -1,6 +1,8 @@
 #include "util/ThreadPool.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <exception>
 #include <string>
 
 #include "util/Expect.h"
@@ -14,6 +16,11 @@ std::size_t default_thread_count() {
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
 }
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
@@ -47,11 +54,83 @@ void ThreadPool::submit(std::function<void()> task) {
     q.tasks.push_back(std::move(task));
   }
   cv_.notify_one();
+  // Assisting waiters (wait_idle) also watch for new queued work.
+  idle_cv_.notify_all();
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(cv_mutex_);
-  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  for (;;) {
+    if (run_one_task()) continue;
+    std::unique_lock<std::mutex> lock(cv_mutex_);
+    if (pending_ == 0) return;
+    // Tasks are in flight on workers. Wake when everything drained or
+    // when in-flight tasks spawn new queued work this thread can assist
+    // with (submit notifies idle_cv_ too).
+    idle_cv_.wait(lock, [this] { return pending_ == 0 || queued_ > 0; });
+    if (pending_ == 0) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  // Over-decompose a little so stolen chunks balance uneven iteration
+  // costs, but never below the caller's grain.
+  const std::size_t target_chunks = std::max<std::size_t>(1, thread_count() * 4);
+  const std::size_t chunk =
+      std::max(grain, (n + target_chunks - 1) / target_chunks);
+  const std::size_t n_chunks = (n + chunk - 1) / chunk;
+  if (n_chunks <= 1 || thread_count() == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Completion is tracked per call, not via the global pending count, so
+  // this works from inside a pool task (the caller's own task is pending
+  // for its whole lifetime and would deadlock a global wait).
+  struct BatchState {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining = 0;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->remaining = n_chunks;
+
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t lo = begin + c * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    submit([state, &fn, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(state->mutex);
+        if (!state->error) state->error = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lk(state->mutex);
+      if (--state->remaining == 0) state->done.notify_all();
+    });
+  }
+
+  // Work-assist until this call's chunks are done. Once run_one_task
+  // finds every queue empty, all our chunks have been popped (they were
+  // all enqueued above) and are running elsewhere — blocking on the
+  // per-call condition is then safe even if other tasks keep arriving.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(state->mutex);
+      if (state->remaining == 0) break;
+    }
+    if (!run_one_task()) {
+      std::unique_lock<std::mutex> lk(state->mutex);
+      state->done.wait(lk, [&] { return state->remaining == 0; });
+      break;
+    }
+  }
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
@@ -76,6 +155,31 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
     }
   }
   return false;
+}
+
+bool ThreadPool::run_one_task() {
+  std::function<void()> task;
+  bool got = false;
+  for (std::size_t k = 0; k < queues_.size() && !got; ++k) {
+    WorkerQueue& q = *queues_[k];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      got = true;
+    }
+  }
+  if (!got) return false;
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    --queued_;
+  }
+  task();
+  {
+    std::lock_guard<std::mutex> lock(cv_mutex_);
+    if (--pending_ == 0) idle_cv_.notify_all();
+  }
+  return true;
 }
 
 void ThreadPool::worker_loop(std::size_t self) {

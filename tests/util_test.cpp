@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
 
 #include "util/Expect.h"
 #include "util/Random.h"
 #include "util/Stats.h"
 #include "util/Table.h"
+#include "util/ThreadPool.h"
 #include "util/Units.h"
 
 namespace {
@@ -117,6 +119,64 @@ TEST(SiFormat, PicksSensiblePrefix) {
 TEST(RatioFormat, FormatsWithSuffix) {
   EXPECT_EQ(util::ratio_format(2.31), "2.31x");
   EXPECT_EQ(util::ratio_format(131.0, 0), "131x");
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex) {
+  util::ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(),
+                    [&](std::size_t i) { hits[i] += static_cast<int>(i); });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i], static_cast<int>(i));
+}
+
+TEST(ThreadPool, ParallelForRespectsGrainAndEmptyRange) {
+  util::ThreadPool pool(2);
+  std::vector<int> hits(37, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; },
+                    /*grain=*/8);
+  for (int h : hits) ASSERT_EQ(h, 1);
+  pool.parallel_for(5, 5, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, NestedParallelForInsideTaskCompletes) {
+  // A pool task fanning out its own parallel_for must not deadlock even
+  // on a 1-thread pool: the blocked caller assists with queued work.
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    util::ThreadPool pool(threads);
+    std::vector<int> hits(64, 0);
+    pool.parallel_for(0, 4, [&](std::size_t outer) {
+      pool.parallel_for(0, 16, [&](std::size_t inner) {
+        hits[outer * 16 + inner] += 1;
+      });
+    });
+    for (int h : hits) ASSERT_EQ(h, 1);
+  }
+}
+
+TEST(ThreadPool, WaitIdleAssistsSubmittedWork) {
+  util::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&] {
+      // Tasks may submit further tasks; wait_idle must cover those too.
+      if (done.fetch_add(1) < 50) pool.submit([&] { done.fetch_add(1); });
+    });
+  pool.wait_idle();
+  EXPECT_GE(done.load(), 150);
+}
+
+TEST(ThreadPool, ParallelForRethrowsTaskException) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 8,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> n{0};
+  pool.parallel_for(0, 8, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 8);
 }
 
 }  // namespace

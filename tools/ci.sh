@@ -5,8 +5,9 @@
 #
 # Stages:
 #   1. release build (preset `release`) + full ctest
-#   2. ASan/UBSan build (preset `asan`) + the `robustness` and `hier`
-#      test labels (elaboration code paths under the sanitizers)
+#   2. ASan/UBSan build (preset `asan`) + the `robustness`, `hier` and
+#      `array` test labels (elaboration, BBD solver and threaded Schur
+#      accumulation code paths under the sanitizers)
 #   3. lint build (preset `lint`): -Wall -Wextra -Wshadow -Werror, plus
 #      clang-tidy when installed (the CMake option degrades gracefully)
 #   4. static ERC over the shipped example decks (including the
@@ -22,11 +23,12 @@ cmake --preset release
 cmake --build --preset release -j
 ctest --preset all -j
 
-echo "==== [2/4] asan build + robustness/hier labels ===="
+echo "==== [2/4] asan build + robustness/hier/array labels ===="
 cmake --preset asan
 cmake --build --preset asan -j
 ctest --preset robustness-asan -j
 ctest --preset hier-asan -j
+ctest --preset array-asan -j
 
 echo "==== [3/4] lint build (-Werror, clang-tidy if installed) ===="
 cmake --preset lint
