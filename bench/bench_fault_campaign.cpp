@@ -70,6 +70,12 @@ TernaryWord random_key(util::Rng& rng, int width) {
 }
 
 struct TrialOutcome {
+  // Reproduction record: the trial's seed and the exact fault map it
+  // drew. draw_faults(seed, kRows, kWidth, FaultRates::uniform(rate))
+  // regenerates `fault_list` bit-for-bit, so any trial in the JSON can be
+  // replayed standalone.
+  std::uint64_t seed = 0;
+  std::vector<FaultSpec> fault_list;
   int rows_checked = 0;
   int row_errors = 0;     // faulty match != golden match
   int false_matches = 0;  // golden mismatch reported as match
@@ -99,6 +105,8 @@ TrialOutcome run_trial(core::TcamTech tech, double rate, std::size_t trial,
     stored.push_back(random_word(rng, kWidth, /*x_density=*/0.25));
 
   TrialOutcome out;
+  out.seed = seed;
+  out.fault_list = report.faults;
   for (int s = 0; s < kSearchesPerTrial; ++s) {
     // Mix of search classes: exact-target keys (golden match, so missed
     // matches from stuck-closed faults are observable), one-bit-off
@@ -177,10 +185,28 @@ TrialOutcome run_trial(core::TcamTech tech, double rate, std::size_t trial,
   return out;
 }
 
+// Per-trial reproduction record kept for the JSON: always the seed and
+// the headline counts; the full injected fault list only for trials that
+// actually misbehaved (row errors or a guarded-sweep failure), capped per
+// point so hot fault rates don't balloon the file — the seed regenerates
+// the list for any trial either way.
+struct TrialRecord {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::string error;
+  int n_faults = 0;
+  int row_errors = 0;
+  std::vector<FaultSpec> fault_list;  // empty unless recorded (see cap)
+};
+
+constexpr int kMaxFaultListsPerPoint = 3;
+
 struct CampaignPoint {
   double rate = 0.0;
   int trials = 0;
   int failed_trials = 0;  // guarded-sweep failure records (must stay 0)
+  std::vector<TrialRecord> trial_records;
+  int fault_lists_truncated = 0;  // misbehaving trials past the list cap
   double row_error_rate = 0.0;
   double false_match_rate = 0.0;
   double missed_match_rate = 0.0;
@@ -215,12 +241,41 @@ CampaignPoint run_point(core::TcamTech tech, double rate,
   pt.trials = kTrialsPerPoint;
   long rows = 0, errs = 0, fm = 0, mm = 0, nm = 0, nm_fm = 0;
   std::vector<double> delays, energies;
-  for (const auto& item : items) {
+  int fault_lists = 0;
+  for (std::size_t idx = 0; idx < items.size(); ++idx) {
+    const auto& item = items[idx];
+    TrialRecord rec;
+    rec.seed = util::sweep_trial_seed(sweep.base_seed, idx);
+    rec.ok = item.ok;
     if (!item.ok) {
+      rec.error = item.error;
+      if (fault_lists < kMaxFaultListsPerPoint) {
+        // The trial died before returning its map: redraw it from the
+        // seed so the record still shows what was injected.
+        rec.fault_list =
+            draw_faults(rec.seed, kRows, kWidth, FaultRates::uniform(rate))
+                .faults;
+        rec.n_faults = static_cast<int>(rec.fault_list.size());
+        ++fault_lists;
+      } else {
+        ++pt.fault_lists_truncated;
+      }
+      pt.trial_records.push_back(std::move(rec));
       ++pt.failed_trials;
       std::fprintf(stderr, "trial failed: %s\n", item.error.c_str());
       continue;
     }
+    rec.n_faults = static_cast<int>(item.value.fault_list.size());
+    rec.row_errors = item.value.row_errors;
+    if (item.value.row_errors > 0) {
+      if (fault_lists < kMaxFaultListsPerPoint) {
+        rec.fault_list = item.value.fault_list;
+        ++fault_lists;
+      } else {
+        ++pt.fault_lists_truncated;
+      }
+    }
+    pt.trial_records.push_back(std::move(rec));
     rows += item.value.rows_checked;
     errs += item.value.row_errors;
     fm += item.value.false_matches;
@@ -389,12 +444,43 @@ int main(int argc, char** argv) {
             " \"missed_match_rate\": %.6e,"
             " \"near_miss_false_match_rate\": %.6e,"
             " \"delay_s\": {\"p50\": %.6e, \"p95\": %.6e, \"p99\": %.6e},"
-            " \"energy_j\": {\"p50\": %.6e, \"p95\": %.6e, \"p99\": %.6e}}%s\n",
+            " \"energy_j\": {\"p50\": %.6e, \"p95\": %.6e, \"p99\": %.6e},"
+            " \"fault_lists_truncated\": %d,\n"
+            "       \"trial_records\": [",
             pt.rate, pt.trials, pt.failed_trials, pt.row_error_rate,
             pt.false_match_rate, pt.missed_match_rate,
             pt.near_miss_false_match_rate, pt.delay_p50, pt.delay_p95,
             pt.delay_p99, pt.energy_p50, pt.energy_p95, pt.energy_p99,
-            j + 1 < series.points.size() ? "," : "");
+            pt.fault_lists_truncated);
+        for (std::size_t k = 0; k < pt.trial_records.size(); ++k) {
+          const TrialRecord& rec = pt.trial_records[k];
+          std::fprintf(f,
+                       "%s\n        {\"seed\": %llu, \"ok\": %s, "
+                       "\"n_faults\": %d, \"row_errors\": %d",
+                       k > 0 ? "," : "",
+                       static_cast<unsigned long long>(rec.seed),
+                       rec.ok ? "true" : "false", rec.n_faults,
+                       rec.row_errors);
+          if (!rec.error.empty())
+            std::fprintf(f, ", \"error\": \"%s\"", rec.error.c_str());
+          if (!rec.fault_list.empty()) {
+            std::fprintf(f, ", \"fault_list\": [");
+            for (std::size_t q = 0; q < rec.fault_list.size(); ++q) {
+              const FaultSpec& fs = rec.fault_list[q];
+              std::fprintf(f,
+                           "%s{\"row\": %d, \"col\": %d, \"kind\": \"%s\","
+                           " \"on_n1\": %s, \"positive\": %s}",
+                           q > 0 ? ", " : "", fs.row, fs.col,
+                           fault_kind_name(fs.kind),
+                           fs.on_n1 ? "true" : "false",
+                           fs.positive ? "true" : "false");
+            }
+            std::fprintf(f, "]");
+          }
+          std::fprintf(f, "}");
+        }
+        std::fprintf(f, "]}%s\n",
+                     j + 1 < series.points.size() ? "," : "");
       }
       std::fprintf(f, "    ]%s\n", i + 1 < g_series.size() ? "," : "");
     }

@@ -32,6 +32,7 @@ BankedTcam::BankedTcam(core::TcamTech tech, int banks, int rows_per_bank,
   next_spare_ = logical_rows_;
   remap_.resize(static_cast<std::size_t>(logical_rows_));
   logical_of_.assign(static_cast<std::size_t>(physical), -1);
+  retired_physical_.assign(static_cast<std::size_t>(physical), false);
   for (int r = 0; r < logical_rows_; ++r) {
     remap_[static_cast<std::size_t>(r)] = r;
     logical_of_[static_cast<std::size_t>(r)] = r;
@@ -98,6 +99,7 @@ bool BankedTcam::retire_row(int global_row) {
   remap_[static_cast<std::size_t>(global_row)] = new_physical;
   logical_of_[static_cast<std::size_t>(old_physical)] = -1;
   logical_of_[static_cast<std::size_t>(new_physical)] = global_row;
+  retired_physical_[static_cast<std::size_t>(old_physical)] = true;
   ++retired_;
   return true;
 }
@@ -121,6 +123,26 @@ int BankedTcam::apply_endurance(const EnduranceTracker& tracker,
     if (retire_row(r)) ++remapped;
   }
   return remapped;
+}
+
+FaultAwareness BankedTcam::refresh_awareness(
+    const fault::FaultReport& physical_report,
+    double weak_retention_scale) const {
+  FaultAwareness out;
+  out.weak_retention_scale = weak_retention_scale;
+  for (int p = 0; p < capacity(); ++p) {
+    if (logical_of_[static_cast<std::size_t>(p)] < 0) {
+      // No live data here: abandoned retired row or still-unused spare.
+      out.retired_rows.push_back(p);
+      continue;
+    }
+    switch (physical_report.row_health(p)) {
+      case fault::CellHealth::Dead: out.dead_rows.push_back(p); break;
+      case fault::CellHealth::Weak: out.weak_rows.push_back(p); break;
+      case fault::CellHealth::Healthy: break;
+    }
+  }
+  return out.normalized(capacity());
 }
 
 void BankedTcam::advance(double seconds) {

@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "arch/Endurance.h"
+#include "arch/RefreshController.h"
 #include "core/DynamicTcam.h"
 #include "fault/FaultModel.h"
+#include "util/Expect.h"
 
 namespace nemtcam::arch {
 
@@ -42,6 +44,23 @@ class BankedTcam {
   int width() const noexcept { return width_; }
   int spare_rows_free() const noexcept { return capacity() - next_spare_; }
   int retired_rows() const noexcept { return retired_; }
+
+  // --- Physical/logical bookkeeping (lifetime engine, refresh bridge) ---
+  // Physical row a logical row currently lives on.
+  int physical_row(int global_row) const { return physical_of(global_row); }
+  // Logical row stored on a physical row; -1 for unused spares and
+  // abandoned (retired-from) rows.
+  int logical_at(int physical_row) const {
+    NEMTCAM_EXPECT(physical_row >= 0 && physical_row < capacity());
+    return logical_of_[static_cast<std::size_t>(physical_row)];
+  }
+  // True once a physical row has been retired from (its logical row was
+  // remapped away). Distinct from "unused spare": both map to no logical
+  // row, but a retired row is known-bad.
+  bool retired_physical(int physical_row) const {
+    NEMTCAM_EXPECT(physical_row >= 0 && physical_row < capacity());
+    return retired_physical_[static_cast<std::size_t>(physical_row)];
+  }
 
   // Logical global-row addressing (physical row = bank * rows_per_bank +
   // local after remapping).
@@ -65,6 +84,16 @@ class BankedTcam {
   int apply_endurance(const EnduranceTracker& tracker,
                       double wear_limit = 1.0);
 
+  // Bridge to the refresh controller: classifies every PHYSICAL row for
+  // fault-aware refresh scheduling. Rows holding no live data (abandoned
+  // retired rows and still-unused spares) go to retired_rows; live rows
+  // are classified by the physical-space fault report (Dead → dead_rows,
+  // Weak → weak_rows). A remapped row's spare inherits the weak period iff
+  // the spare itself is degraded — health follows the physical silicon,
+  // not the logical address. Result is pre-normalized over capacity().
+  FaultAwareness refresh_awareness(const fault::FaultReport& physical_report,
+                                   double weak_retention_scale = 0.25) const;
+
   // Advances all banks' clocks together (staggered refreshes fire inside).
   void advance(double seconds);
 
@@ -84,6 +113,7 @@ class BankedTcam {
   int retired_ = 0;  // rows successfully remapped onto spares
   std::vector<int> remap_;       // logical → physical
   std::vector<int> logical_of_;  // physical → logical (-1 = spare/retired)
+  std::vector<bool> retired_physical_;  // physical rows retired from
   std::vector<std::unique_ptr<core::DynamicTcam>> banks_;
 };
 

@@ -71,6 +71,14 @@ void EnduranceTracker::record_row_refresh(int row) {
                    static_cast<std::size_t>(b)];
 }
 
+void EnduranceTracker::add_row_cycles(int row, std::uint64_t cycles) {
+  NEMTCAM_EXPECT(row >= 0 && row < rows_);
+  const auto r = static_cast<std::size_t>(row);
+  for (int b = 0; b < width_; ++b)
+    cell_cycles_[r * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(b)] += cycles;
+}
+
 std::uint64_t EnduranceTracker::worst_cell_cycles() const {
   return *std::max_element(cell_cycles_.begin(), cell_cycles_.end());
 }

@@ -40,6 +40,12 @@ class EnduranceTracker {
   void record_one_shot_refresh();
   void record_row_refresh(int row);
 
+  // Bulk wear deposit: adds `cycles` to every cell of `row` at once. The
+  // lifetime engine accrues months of behavioral traffic analytically and
+  // deposits the accumulated cycles here at segment boundaries instead of
+  // replaying every word write.
+  void add_row_cycles(int row, std::uint64_t cycles);
+
   // Worst (most-cycled) cell count and its fraction of the rating.
   std::uint64_t worst_cell_cycles() const;
   double worst_wear_fraction() const;

@@ -18,28 +18,57 @@ const char* policy_name(RefreshPolicy p) {
   return "?";
 }
 
+FaultAwareness FaultAwareness::normalized(int rows) const {
+  const auto clean = [rows](std::vector<int> v) {
+    std::erase_if(v, [rows](int r) { return r < 0 || r >= rows; });
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+  };
+  FaultAwareness out;
+  out.weak_retention_scale = weak_retention_scale;
+  out.retired_rows = clean(retired_rows);
+  out.dead_rows = clean(dead_rows);
+  out.weak_rows = clean(weak_rows);
+  // Retired rows carry no live data: drop them from both fault schedules.
+  const auto remove_all = [](std::vector<int>& from,
+                             const std::vector<int>& sorted_rm) {
+    std::erase_if(from, [&](int r) {
+      return std::binary_search(sorted_rm.begin(), sorted_rm.end(), r);
+    });
+  };
+  remove_all(out.dead_rows, out.retired_rows);
+  remove_all(out.weak_rows, out.retired_rows);
+  // Dead trumps weak: one stuck cell outranks any number of leaky ones.
+  remove_all(out.weak_rows, out.dead_rows);
+  return out;
+}
+
 RefreshSimResult simulate_refresh_interference(const RefreshSimConfig& cfg) {
   NEMTCAM_EXPECT(cfg.sim_time > 0.0 && cfg.search_rate_hz > 0.0);
+  NEMTCAM_EXPECT(cfg.retention_scale > 0.0 && cfg.refresh_period_scale > 0.0);
   const core::EnergyModel costs(cfg.tech, cfg.width, cfg.rows);
   util::Rng rng(cfg.seed);
 
-  // Fault classification, row-indexed for the scheduler.
+  // Fault classification, row-indexed for the scheduler. Normalization
+  // enforces precedence (retired > dead > weak) and dedupes, so raw
+  // campaign lists are safe to pass in.
+  const FaultAwareness faults = cfg.faults.normalized(cfg.rows);
   const auto row_flags = [&](const std::vector<int>& rows) {
     std::vector<bool> flags(static_cast<std::size_t>(cfg.rows), false);
-    for (const int r : rows)
-      if (r >= 0 && r < cfg.rows) flags[static_cast<std::size_t>(r)] = true;
+    for (const int r : rows) flags[static_cast<std::size_t>(r)] = true;
     return flags;
   };
-  const std::vector<bool> dead = row_flags(cfg.faults.dead_rows);
-  std::vector<bool> weak = row_flags(cfg.faults.weak_rows);
-  int n_dead = 0;
-  for (int r = 0; r < cfg.rows; ++r)
-    if (dead[static_cast<std::size_t>(r)]) {
-      weak[static_cast<std::size_t>(r)] = false;  // dead trumps weak
-      ++n_dead;
-    }
-  NEMTCAM_EXPECT(cfg.faults.weak_retention_scale > 0.0 &&
-                 cfg.faults.weak_retention_scale <= 1.0);
+  // Retired and dead rows schedule identically (no refresh, no energy
+  // share); they are only reported separately.
+  std::vector<bool> dead = row_flags(faults.dead_rows);
+  for (const int r : faults.retired_rows)
+    dead[static_cast<std::size_t>(r)] = true;
+  const std::vector<bool> weak = row_flags(faults.weak_rows);
+  const int n_dead = static_cast<int>(faults.dead_rows.size()) +
+                     static_cast<int>(faults.retired_rows.size());
+  NEMTCAM_EXPECT(faults.weak_retention_scale > 0.0 &&
+                 faults.weak_retention_scale <= 1.0);
 
   // Build the refresh schedule.
   struct RefreshOp {
@@ -50,8 +79,9 @@ RefreshSimResult simulate_refresh_interference(const RefreshSimConfig& cfg) {
   };
   std::vector<RefreshOp> refresh_ops;
   if (cfg.policy != RefreshPolicy::None && costs.needs_refresh()) {
-    const double period = costs.retention_time();
-    const double weak_period = period * cfg.faults.weak_retention_scale;
+    const double period = costs.retention_time() * cfg.retention_scale *
+                          cfg.refresh_period_scale;
+    const double weak_period = period * faults.weak_retention_scale;
     if (cfg.policy == RefreshPolicy::OneShot) {
       // Dead rows carry no data: the one-shot op skips their share of the
       // recharge energy (its latency is array-parallel and unchanged).
@@ -88,7 +118,7 @@ RefreshSimResult simulate_refresh_interference(const RefreshSimConfig& cfg) {
                 });
     }
   }
-  if (!refresh_ops.empty() && !cfg.faults.weak_rows.empty() &&
+  if (!refresh_ops.empty() && !faults.weak_rows.empty() &&
       cfg.policy == RefreshPolicy::OneShot)
     std::sort(refresh_ops.begin(), refresh_ops.end(),
               [](const RefreshOp& a, const RefreshOp& b) {

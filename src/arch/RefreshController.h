@@ -29,13 +29,26 @@ const char* policy_name(RefreshPolicy p);
 // leaky (Weak) rows lose charge faster than the array's rated retention,
 // so they get supplemental row refreshes on a shortened period; Dead rows
 // hold no data worth refreshing and are excluded from the schedule (and
-// from the one-shot op's per-row energy share).
+// from the one-shot op's per-row energy share). Retired rows (remapped
+// onto spares by BankedTcam, or unused spares) carry no live data either
+// and are excluded the same way — see BankedTcam::refresh_awareness.
 struct FaultAwareness {
-  std::vector<int> weak_rows;  // refreshed every weak_retention_scale·T
-  std::vector<int> dead_rows;  // excluded from refresh entirely
+  std::vector<int> weak_rows;     // refreshed every weak_retention_scale·T
+  std::vector<int> dead_rows;     // excluded from refresh entirely
+  std::vector<int> retired_rows;  // remapped away / unused spares: excluded
   // Fraction of the rated retention time a weak row can actually hold
   // charge (gate-leak faults drain the floating gate early).
   double weak_retention_scale = 0.25;
+
+  // Cleaned copy with the scheduling invariants enforced: each list is
+  // sorted and deduplicated, out-of-range indices are dropped, and
+  // precedence is applied — a row listed both weak and dead is dead (one
+  // stuck cell outranks any number of leaky ones), and a retired row
+  // drops out of the weak *and* dead schedules (its data lives on a spare
+  // now; supplemental refreshes of the abandoned physical row would be
+  // pure waste). simulate_refresh_interference normalizes internally, so
+  // callers may pass raw campaign lists.
+  FaultAwareness normalized(int rows) const;
 };
 
 struct RefreshSimConfig {
@@ -50,6 +63,14 @@ struct RefreshSimConfig {
   // Row-by-row refreshes are spread uniformly over the retention period
   // (distributed refresh), as DRAM controllers do.
   FaultAwareness faults;            // empty lists = healthy array
+  // Array-wide retention derating (aging: gate leakage grows with wear,
+  // shrinking how long every cell holds charge). Scales the technology's
+  // rated retention time before the refresh period is derived from it.
+  double retention_scale = 1.0;
+  // Policy knob: refresh period as a fraction of the (derated) retention
+  // time. <1 refreshes early (guard band), >1 overdrives retention — a
+  // lifetime-sweep axis, not a recommended operating point.
+  double refresh_period_scale = 1.0;
 };
 
 struct RefreshSimResult {

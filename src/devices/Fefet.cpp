@@ -101,6 +101,11 @@ void Fefet::set_polarization(double p) {
   p_ = p;
 }
 
+void Fefet::set_memory_window(double vth_low, double vth_high) {
+  params_.vth_low = vth_low;
+  params_.vth_high = std::max(vth_high, vth_low + kWindowMin);
+}
+
 
 spice::DeviceTopology Fefet::topology() const {
   return {{{"d", d_}, {"g", g_}, {"s", s_}},

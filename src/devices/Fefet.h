@@ -48,6 +48,13 @@ class Fefet final : public Device {
   double t_erase_complete() const noexcept { return t_erase_; }
   // Convenience: P=+1 (low V_th, conducts at VDD gate) or −1 (high V_th).
   void set_low_vth(bool low) { set_polarization(low ? 1.0 : -1.0); }
+  // Aging hook (see lifetime/Degradation): polarization fatigue narrows the
+  // memory window symmetrically toward its midpoint. Absolute setter,
+  // clamped so the window never inverts (the ERC value.fefet-window defect
+  // is a design error, not a state wear may reach):
+  // vth_high ≥ vth_low + kWindowMin.
+  void set_memory_window(double vth_low, double vth_high);
+  static constexpr double kWindowMin = 0.05;  // V
   double vth_eff() const noexcept;
   bool is_low_vth() const noexcept { return p_ > 0.0; }
 

@@ -70,13 +70,18 @@ class Mosfet final : public Device {
   // Drain current at the given context (telemetry / tests).
   double ids(const StampContext& ctx) const;
 
-  // Fault-injection hook: shift |V_th| by delta volts (process outlier /
-  // aging). The magnitude is clamped at a 10 mV floor so an extreme
-  // negative outlier degrades to always-on rather than a nonsensical
-  // negative threshold.
+  // Fault-injection / aging hook: shift |V_th| by delta volts (process
+  // outlier, BTI drift). Clamped to [kVthMin, kVthMax]: an extreme
+  // negative excursion degrades to always-on rather than a nonsensical
+  // negative threshold, and multi-year BTI accumulation saturates at a
+  // cannot-turn-on ceiling instead of growing without bound.
   void shift_vth(double delta_v) {
-    params_.vth = params_.vth + delta_v < 0.01 ? 0.01 : params_.vth + delta_v;
+    const double vth = params_.vth + delta_v;
+    params_.vth = vth < kVthMin ? kVthMin : (vth > kVthMax ? kVthMax : vth);
   }
+
+  static constexpr double kVthMin = 0.01;  // V: effectively always-on
+  static constexpr double kVthMax = 1.5;   // V: off at any on-chip gate drive
 
   void reset_state() override {
     cgs_c_.reset();

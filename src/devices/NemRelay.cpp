@@ -162,13 +162,19 @@ void NemRelay::force_stuck(bool closed) {
 }
 
 void NemRelay::set_contact_resistance(double r_on) {
-  NEMTCAM_EXPECT(r_on > 0.0);
-  params_.r_on = r_on;
+  // Degradation hook: saturate at the physical bounds rather than assert —
+  // a lifetime engine integrating wear over years must be free to push the
+  // drift law past its validity range without tripping the process.
+  params_.r_on = std::clamp(r_on, kROnMin, kROnMax);
 }
 
 void NemRelay::set_gate_leakage(double g) {
-  NEMTCAM_EXPECT(g >= 0.0);
-  params_.gate_leak_g = g;
+  params_.gate_leak_g = std::clamp(g, 0.0, kLeakMax);
+}
+
+void NemRelay::shift_pull_in(double dv) {
+  params_.v_pi =
+      std::clamp(params_.v_pi + dv, params_.v_po + kWindowMin, kVpiMax);
 }
 
 void NemRelay::set_off_leakage(double g) {

@@ -73,7 +73,8 @@ class NemRelay final : public Device {
     t_opened_ = -1.0;
   }
 
-  // --- Fault-injection hooks (see fault/FaultInjector) ---
+  // --- Fault-injection / degradation hooks (see fault/FaultInjector and
+  // lifetime/Degradation) ---
   // Welds the beam: stuck-closed models contact stiction/welding, stuck-
   // open a fractured beam. The mechanical state is pinned — actuation,
   // arrival events, and in-flight dt hints are disabled — while the gate
@@ -81,11 +82,29 @@ class NemRelay final : public Device {
   // continues to conserve charge.
   void force_stuck(bool closed);
   bool stuck() const noexcept { return stuck_; }
-  // Contact-resistance drift (cycling wear): replaces r_on.
+  // Contact-resistance drift (cycling wear): replaces r_on. Clamped to
+  // [kROnMin, kROnMax] so multi-year wear integration saturates at a
+  // physical bound instead of walking the contact negative or into a
+  // better-than-metal value.
   void set_contact_resistance(double r_on);
-  // Gate–body leakage (retention loss) and open-contact leakage.
+  // Gate–body leakage (retention loss, clamped to [0, kLeakMax]) and
+  // open-contact leakage.
   void set_gate_leakage(double g);
   void set_off_leakage(double g);
+  // Dielectric-charging pull-in drift: shifts V_PI by dv (negative =
+  // trapped charge assists actuation, the OSR-threatening direction).
+  // Clamped so the hysteresis window stays open (V_PI ≥ V_PO + kWindowMin
+  // — an inverted window is the ERC-visible value.hysteresis-inverted
+  // defect, not a state aging may reach) and so the beam stays actuatable
+  // in principle (V_PI ≤ kVpiMax).
+  void shift_pull_in(double dv);
+
+  // Physical saturation bounds for the degradation hooks.
+  static constexpr double kROnMin = 1.0;      // Ω: ideal metal contact
+  static constexpr double kROnMax = 1e9;      // Ω: contact effectively open
+  static constexpr double kLeakMax = 1e-6;    // S: gate dielectric shorted
+  static constexpr double kWindowMin = 0.02;  // V: minimum hysteresis window
+  static constexpr double kVpiMax = 1.5;      // V: beyond any on-chip drive
 
   bool contact() const noexcept { return position_ >= 1.0; }
   double position() const noexcept { return position_; }

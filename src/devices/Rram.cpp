@@ -87,6 +87,11 @@ void Rram::set_state(double w) {
   w_ = w;
 }
 
+void Rram::set_resistance_window(double r_on, double r_off) {
+  params_.r_on = std::max(r_on, kROnMin);
+  params_.r_off = std::max(r_off, params_.r_on * kMinWindowRatio);
+}
+
 
 spice::DeviceTopology Rram::topology() const {
   return {{{"top", top_}, {"bottom", bottom_}},

@@ -49,6 +49,15 @@ class Rram final : public Device {
   // Filament state: 1 = fully formed (R_ON), 0 = ruptured (R_OFF).
   double state() const noexcept { return w_; }
   void set_state(double w);
+  // Aging hook (see lifetime/Degradation): cycling fatigue narrows the
+  // resistance window — the residual filament thickens R_OFF downward and
+  // oxygen-vacancy depletion raises R_ON. Absolute setter, clamped so the
+  // window never inverts (the ERC value.rram-window defect is a design
+  // error, not a state wear may reach): r_on ≥ kROnMin and
+  // r_off ≥ kMinWindowRatio·r_on.
+  void set_resistance_window(double r_on, double r_off);
+  static constexpr double kROnMin = 100.0;       // Ω
+  static constexpr double kMinWindowRatio = 2.0; // R_OFF/R_ON floor
   // Simulation time at which the filament last crossed 90% formed (set
   // complete) / 10% formed (reset complete); negative if never.
   double t_set_complete() const noexcept { return t_set_; }

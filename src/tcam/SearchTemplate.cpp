@@ -55,15 +55,20 @@ void SearchTemplate::build(const core::TernaryWord& key,
   ++builds_;
 }
 
-SearchMetrics SearchTemplate::search(const core::TernaryWord& key,
-                                     const core::TernaryWord& stored,
-                                     double strobe_delay, double dt_max) {
+void SearchTemplate::ensure_built(const core::TernaryWord& key,
+                                  const core::TernaryWord& stored) {
   if (!fx_ || built_stored_ != stored) {
     build(key, stored);
   } else if (built_key_ != key) {
     fx_->rebind_key(key);
     built_key_ = key;
   }
+}
+
+SearchMetrics SearchTemplate::search(const core::TernaryWord& key,
+                                     const core::TernaryWord& stored,
+                                     double strobe_delay, double dt_max) {
+  ensure_built(key, stored);
 
   spice::Circuit& ckt = fx_->circuit();
   ckt.reset_device_states();

@@ -95,6 +95,18 @@ class SearchTemplate {
                        const core::TernaryWord& stored, double strobe_delay,
                        double dt_max = 20e-12);
 
+  // Guarantees the circuit exists and is aimed at (key, stored) — building
+  // or rebinding exactly as search() would — without running a transient.
+  // The lifetime engine calls this, then mutates device parameters in
+  // place (aging setters, fault injection) before search() replays; the
+  // mutations survive because replays never rebuild for an unchanged word.
+  void ensure_built(const core::TernaryWord& key,
+                    const core::TernaryWord& stored);
+
+  // The elaborated circuit, for in-place device mutation between replays.
+  // Null until the first build/ensure_built.
+  spice::Circuit* circuit() noexcept { return fx_ ? &fx_->circuit() : nullptr; }
+
   // How many times the underlying circuit was (re)built — for the
   // zero-reconstruction assertions.
   std::uint64_t builds() const noexcept { return builds_; }

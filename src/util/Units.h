@@ -12,6 +12,10 @@ namespace nemtcam::units {
 
 // Time.
 inline constexpr double s = 1.0;
+inline constexpr double minute = 60.0;
+inline constexpr double hour = 3600.0;
+inline constexpr double day = 86400.0;
+inline constexpr double year = 365.25 * 86400.0;  // Julian year
 inline constexpr double ms = 1e-3;
 inline constexpr double us = 1e-6;
 inline constexpr double ns = 1e-9;

@@ -5,36 +5,44 @@
 #
 # Stages:
 #   1. release build (preset `release`) + full ctest
-#   2. ASan/UBSan build (preset `asan`) + the `robustness`, `hier` and
-#      `array` test labels (elaboration, BBD solver and threaded Schur
-#      accumulation code paths under the sanitizers)
+#   2. ASan/UBSan build (preset `asan`) + the `robustness`, `hier`,
+#      `array` and `lifetime` test labels (elaboration, BBD solver,
+#      threaded Schur accumulation and multi-rate engine code paths
+#      under the sanitizers)
 #   3. lint build (preset `lint`): -Wall -Wextra -Wshadow -Werror, plus
 #      clang-tidy when installed (the CMake option degrades gracefully)
 #   4. static ERC over the shipped example decks (including the
 #      hierarchical .subckt deck) via nemtcam_lint --werror
+#   5. lifetime-bench smoke: the CI-sized datacenter-lifetime sweep
+#      (bench_lifetime --smoke) must complete with its internal gates
+#      green (every point runs, remap extends NEM lifetime)
 #
 # Fails fast on the first broken stage.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==== [1/4] release build + tests ===="
+echo "==== [1/5] release build + tests ===="
 cmake --preset release
 cmake --build --preset release -j
 ctest --preset all -j
 
-echo "==== [2/4] asan build + robustness/hier/array labels ===="
+echo "==== [2/5] asan build + robustness/hier/array/lifetime labels ===="
 cmake --preset asan
 cmake --build --preset asan -j
 ctest --preset robustness-asan -j
 ctest --preset hier-asan -j
 ctest --preset array-asan -j
+ctest --preset lifetime-asan -j
 
-echo "==== [3/4] lint build (-Werror, clang-tidy if installed) ===="
+echo "==== [3/5] lint build (-Werror, clang-tidy if installed) ===="
 cmake --preset lint
 cmake --build --preset lint -j
 
-echo "==== [4/4] ERC over example decks (warnings are errors) ===="
+echo "==== [4/5] ERC over example decks (warnings are errors) ===="
 build/tools/nemtcam_lint --werror examples/decks/*.sp
+
+echo "==== [5/5] lifetime-bench smoke sweep ===="
+(cd build/bench && ./bench_lifetime --smoke)
 
 echo "==== ci.sh: all stages passed ===="
