@@ -79,6 +79,11 @@ struct PointKey {
   double refresh_period_scale = 1.0;
   double retention_derate = 1.0;
   bool remap = true;
+  // Seed index shared by the remap-on and remap-off arms of the same
+  // (tech, write rate, refresh) point: both arms must draw identical
+  // hazard fates or the "extension" ratio (and its acceptance gate)
+  // compares unpaired random universes.
+  std::size_t pair = 0;
 };
 
 struct PointResult {
@@ -113,12 +118,14 @@ lifetime::LifetimeConfig make_config(const SweepAxes& a, const PointKey& k,
 
 std::vector<PointKey> make_points(const SweepAxes& a) {
   std::vector<PointKey> keys;
+  std::size_t pair = 0;
   for (const core::TcamTech tech : a.techs)
     for (const double wr : a.write_rates)
       for (const auto& [rps, derate] : a.refresh) {
-        keys.push_back({tech, wr, rps, derate, true});
+        keys.push_back({tech, wr, rps, derate, true, pair});
         if (tech == core::TcamTech::Nem3T2N)
-          keys.push_back({tech, wr, rps, derate, false});
+          keys.push_back({tech, wr, rps, derate, false, pair});
+        ++pair;
       }
   return keys;
 }
@@ -136,7 +143,11 @@ void BM_LifetimeSweep(benchmark::State& state) {
     sweep.base_seed = 0x11fe71feu;
     const auto items = util::run_sweep_guarded<lifetime::LifetimeResult>(
         keys.size(),
-        [&a, &keys](std::size_t i, std::uint64_t seed) {
+        [&a, &keys, &sweep](std::size_t i, std::uint64_t /*seed*/) {
+          // Seed by the pair index, not the sweep index: the remap-off
+          // arm reuses its on-arm's seed so the comparison is paired.
+          const std::uint64_t seed =
+              util::sweep_trial_seed(sweep.base_seed, keys[i].pair);
           lifetime::LifetimeEngine engine(make_config(a, keys[i], seed));
           return engine.run();
         },
@@ -179,6 +190,10 @@ std::string years_or_alive(const lifetime::LifetimeResult& r,
   return util::si_format(r.t_death / units::year, "", 3);
 }
 
+// Onset time in years, or -1 when the onset never happened (the
+// LifetimeResult::kNever sentinel is negative; t = 0 is a real onset).
+double years_or_never(double t) { return t >= 0.0 ? t / units::year : -1.0; }
+
 void print_tables(const SweepAxes& a) {
   for (const core::TcamTech tech : a.techs) {
     std::printf("\n%s — %dx%d + %d spares, horizon %.0f yr\n",
@@ -202,10 +217,10 @@ void print_tables(const SweepAxes& a) {
         }
         t.add_row({util::si_format(wr, "", 3), util::si_format(rps, "", 2),
                    util::si_format(derate, "", 2), years_or_alive(r, a.horizon),
-                   r.t_first_dead > 0.0
+                   r.t_first_dead >= 0.0
                        ? util::si_format(r.t_first_dead / units::year, "", 3)
                        : "-",
-                   r.t_window_lost > 0.0
+                   r.t_window_lost >= 0.0
                        ? util::si_format(r.t_window_lost / units::year, "", 3)
                        : "-",
                    std::to_string(r.rows_retired),
@@ -260,8 +275,8 @@ void write_json(const SweepAxes& a) {
           pr.key.refresh_period_scale, pr.key.retention_derate,
           pr.key.remap ? "true" : "false", r.died ? "true" : "false",
           lived(r, a.horizon) / units::year, r.died ? "false" : "true",
-          r.t_first_dead / units::year, r.t_first_weak / units::year,
-          r.t_window_lost / units::year, r.rows_retired, r.spares_left,
+          years_or_never(r.t_first_dead), years_or_never(r.t_first_weak),
+          years_or_never(r.t_window_lost), r.rows_retired, r.spares_left,
           r.circuit_checks, r.events.size(), r.searches, r.writes,
           r.search_energy, r.write_energy, r.refresh_energy, r.refresh_ops,
           r.weak_refresh_ops, r.avg_search_latency(), r.delay_scale_end,

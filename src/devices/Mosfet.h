@@ -70,13 +70,23 @@ class Mosfet final : public Device {
   // Drain current at the given context (telemetry / tests).
   double ids(const StampContext& ctx) const;
 
-  // Fault-injection / aging hook: shift |V_th| by delta volts (process
-  // outlier, BTI drift). Clamped to [kVthMin, kVthMax]: an extreme
-  // negative excursion degrades to always-on rather than a nonsensical
-  // negative threshold, and multi-year BTI accumulation saturates at a
-  // cannot-turn-on ceiling instead of growing without bound.
+  // Aging hook: shift |V_th| by delta volts (BTI drift). Clamped to
+  // [kVthMin, kVthMax]: an extreme negative excursion degrades to
+  // always-on rather than a nonsensical negative threshold, and
+  // multi-year BTI accumulation saturates at a cannot-turn-on ceiling
+  // instead of growing without bound.
   void shift_vth(double delta_v) {
     const double vth = params_.vth + delta_v;
+    params_.vth = vth < kVthMin ? kVthMin : (vth > kVthMax ? kVthMax : vth);
+  }
+
+  // Fault-injection hook: set |V_th| to the design-nominal value plus an
+  // absolute outlier offset, same clamp as shift_vth. Absolute so that
+  // re-applying the same fault is idempotent — the lifetime engine
+  // re-injects a row's fault list into its persistent measurement
+  // template on every circuit check.
+  void set_vth_outlier(double offset_v) {
+    const double vth = vth_nominal_ + offset_v;
     params_.vth = vth < kVthMin ? kVthMin : (vth > kVthMax ? kVthMax : vth);
   }
 
@@ -93,6 +103,7 @@ class Mosfet final : public Device {
  private:
   NodeId d_, g_, s_;
   MosfetParams params_;
+  const double vth_nominal_ = params_.vth;  // pre-aging |V_th| for outliers
   CapCompanion cgs_c_, cgd_c_, cdb_c_, csb_c_;
 };
 

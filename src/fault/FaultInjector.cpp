@@ -106,8 +106,11 @@ int FaultInjector::apply(spice::Circuit& circuit, const FaultSpec& spec) const {
       }
     } else if (auto* mos = dynamic_cast<devices::Mosfet*>(dev.get())) {
       if (spec.kind != FaultKind::MosVthOutlier) continue;
-      mos->shift_vth(spec.positive ? severity_.vth_shift
-                                   : -severity_.vth_shift);
+      // Absolute offset from the design-nominal threshold, not a relative
+      // shift: like every relay hook above this is idempotent, so callers
+      // may re-apply a fault list to a persistent circuit.
+      mos->set_vth_outlier(spec.positive ? severity_.vth_shift
+                                         : -severity_.vth_shift);
       ++applied;
     }
   }

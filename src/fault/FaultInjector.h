@@ -9,9 +9,13 @@
 // device list, parses the column index from either form, and mutates the
 // matching devices in place through the fault hooks
 // (NemRelay::force_stuck / set_contact_resistance / set_gate_leakage,
-// Mosfet::shift_vth) — the AssemblyCache's recorded stamp pattern is
-// unaffected because the hooks only change stamp *values* (a stuck-open
-// relay with g_off = 0 still stamps its zero into its recorded slots).
+// Mosfet::set_vth_outlier) — the AssemblyCache's recorded stamp pattern
+// is unaffected because the hooks only change stamp *values* (a
+// stuck-open relay with g_off = 0 still stamps its zero into its recorded
+// slots). Every hook is absolute, so applying the same FaultSpec twice is
+// idempotent — callers may re-inject an accumulated fault list into a
+// persistent circuit (lifetime engine circuit checks) without stacking
+// severities.
 #pragma once
 
 #include <vector>

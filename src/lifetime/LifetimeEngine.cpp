@@ -383,17 +383,21 @@ void LifetimeEngine::circuit_check(double t, LifetimeResult& out) {
   out.circuit_checks = checks_run_;
   if (!match.ok || !mis.ok) return;  // keep the previous calibration
 
-  if (checks_run_ == 1) {
-    // First check is the fresh baseline: anchor the scale telemetry on
-    // measured (not reference-table) values.
-    fresh_search_delay_ = mis.latency;
-    fresh_search_energy_ = mis.energy;
-  }
   // A false match (mismatch failed to discharge by the strobe) or a
   // missed match marks the row functionally dead — the circuit overrules
   // the behavioral classification.
   const bool functional_fail = mis.matched || !match.matched;
   if (!functional_fail && mis.latency > 0.0) {
+    if (!fresh_anchored_) {
+      // First healthy check is the fresh baseline: anchor the scale
+      // telemetry on measured (not reference-table) values. A failing
+      // first check (brute-force mode skips the w = 0 check, so it can
+      // land on a fault event) must not anchor an already-degraded
+      // measurement.
+      fresh_search_delay_ = mis.latency;
+      fresh_search_energy_ = mis.energy;
+      fresh_anchored_ = true;
+    }
     base_delay_ = mis.latency;
     base_energy_ = mis.energy;
     checked_wear_ = w;
@@ -412,7 +416,7 @@ void LifetimeEngine::handle_weak(double t, int physical,
   RowState& st = state_[static_cast<std::size_t>(physical)];
   if (st.weak || st.dead) return;
   st.weak = true;
-  if (out.t_first_weak == 0.0) out.t_first_weak = t;
+  if (out.t_first_weak < 0.0) out.t_first_weak = t;
   out.events.push_back({t, EventKind::WeakOnset, physical,
                         tcam_.logical_at(physical), wear_of(physical),
                         detail});
@@ -424,7 +428,7 @@ void LifetimeEngine::handle_dead(double t, int physical, EventKind kind,
   RowState& st = state_[static_cast<std::size_t>(physical)];
   if (st.dead) return;
   st.dead = true;
-  if (out.t_first_dead == 0.0) out.t_first_dead = t;
+  if (out.t_first_dead < 0.0) out.t_first_dead = t;
   int logical = tcam_.logical_at(physical);
   out.events.push_back(
       {t, kind, physical, logical, wear_of(physical), detail});
@@ -454,6 +458,10 @@ void LifetimeEngine::handle_dead(double t, int physical, EventKind kind,
 }
 
 LifetimeResult LifetimeEngine::run() {
+  // run() consumes row wear, retirements, and died_ without resetting
+  // them; a silent second run would return a near-empty result.
+  NEMTCAM_EXPECT_MSG(!ran_, "LifetimeEngine::run() may only be called once");
+  ran_ = true;
   LifetimeResult out;
   now_ = 0.0;
   base_delay_ = costs_.search_latency();
@@ -534,7 +542,7 @@ LifetimeResult LifetimeEngine::run() {
       case EventKind::WindowLost: {
         RowState& st = state_[static_cast<std::size_t>(row)];
         st.window_lost = true;
-        if (out.t_window_lost == 0.0) out.t_window_lost = now_;
+        if (out.t_window_lost < 0.0) out.t_window_lost = now_;
         out.events.push_back(
             {now_, EventKind::WindowLost, row, tcam_.logical_at(row),
              wear_of(row),

@@ -129,12 +129,17 @@ struct LifetimeEvent {
 };
 
 struct LifetimeResult {
+  // "Never happened" onset times are the kNever sentinel (negative), so a
+  // genuine onset at exactly t = 0 (forced fault, clamped window-loss
+  // wear) stays distinguishable from "none".
+  static constexpr double kNever = -1.0;
+
   // Time-to-first-uncorrectable-row; survived the horizon when !died.
   bool died = false;
-  double t_death = 0.0;       // valid when died
-  double t_first_dead = 0.0;  // first hard row failure (0 = none)
-  double t_first_weak = 0.0;
-  double t_window_lost = 0.0;  // first refresh-window loss (NEM; 0 = none)
+  double t_death = 0.0;          // valid when died
+  double t_first_dead = kNever;  // first hard row failure
+  double t_first_weak = kNever;
+  double t_window_lost = kNever;  // first refresh-window loss (NEM only)
   double sim_end = 0.0;        // death time or horizon
   int rows_retired = 0;
   int spares_left = 0;
@@ -173,6 +178,8 @@ class LifetimeEngine {
   explicit LifetimeEngine(LifetimeConfig cfg);
   ~LifetimeEngine();
 
+  // Single-shot: run() consumes the engine's wear/retirement state and
+  // asserts if called twice (construct a fresh engine per run).
   LifetimeResult run();
 
   const LifetimeConfig& config() const noexcept { return cfg_; }
@@ -206,6 +213,7 @@ class LifetimeEngine {
   std::vector<double> write_rate_;  // per logical row (rows/s)
   std::vector<ForcedFault> forced_;
   double now_ = 0.0;
+  bool ran_ = false;
   bool died_ = false;
   double window_loss_wear_ = 0.0;  // +inf for non-NEM / no refresh
 
@@ -213,8 +221,12 @@ class LifetimeEngine {
   // aged absolutes, fallback laws extrapolate past the check budget.
   double per_search_energy_ = 0.0;
   double per_search_delay_ = 0.0;
-  double fresh_search_energy_ = 0.0;  // baseline for the scale telemetry
+  // Baseline for the scale telemetry: the first HEALTHY circuit check
+  // (reference-table values until one lands — a check that measures a
+  // functional failure must not anchor the "fresh" point).
+  double fresh_search_energy_ = 0.0;
   double fresh_search_delay_ = 0.0;
+  bool fresh_anchored_ = false;
   double base_energy_ = 0.0;   // last circuit-anchored per-search values …
   double base_delay_ = 0.0;    // … measured at checked_wear_
   double checked_wear_ = 0.0;  // wear at the last circuit check

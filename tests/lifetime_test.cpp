@@ -14,6 +14,7 @@
 #include "arch/RefreshController.h"
 #include "devices/Mosfet.h"
 #include "devices/NemRelay.h"
+#include "fault/FaultInjector.h"
 #include "fault/FaultModel.h"
 #include "lifetime/Degradation.h"
 #include "lifetime/Hazard.h"
@@ -263,6 +264,37 @@ TEST(BankedTcam, RetirementFeedsFaultAwareRefresh) {
   const arch::RefreshSimResult sim = arch::simulate_refresh_interference(cfg);
   EXPECT_EQ(sim.rows_excluded, 2);
   EXPECT_GT(sim.weak_refresh_ops, 0u);
+}
+
+// Regression: the lifetime engine re-injects a row's accumulated fault
+// list into its persistent measurement template on every circuit check,
+// so every injector hook must be absolute. A relative Vth shift here made
+// aged delay/energy (and the FunctionalDead verdict) functions of
+// max_circuit_checks for every technology whose wear/leak channels map to
+// MosVthOutlier.
+TEST(FaultInjector, ReapplyingAFaultListIsIdempotent) {
+  spice::Circuit c;
+  auto& mos =
+      c.add<devices::Mosfet>("M1_3", c.node("d"), c.node("g"), c.ground(),
+                             devices::MosfetParams::nmos_lp());
+  auto& relay = c.add<devices::NemRelay>("N1_3", c.node("rd"), c.node("rs"),
+                                         c.node("rg"), c.ground());
+  const fault::FaultInjector injector;
+  const std::vector<fault::FaultSpec> faults = {
+      {0, 3, fault::FaultKind::MosVthOutlier, true, true},
+      {0, 3, fault::FaultKind::ContactDrift, true, true},
+      {0, 3, fault::FaultKind::GateLeak, true, true},
+  };
+  for (const auto& f : faults) ASSERT_GT(injector.apply(c, f), 0);
+  const double vth_once = mos.params().vth;
+  const double r_on_once = relay.params().r_on;
+  const double leak_once = relay.params().gate_leak_g;
+  EXPECT_GT(vth_once, devices::MosfetParams::nmos_lp().vth);
+  for (int rep = 0; rep < 4; ++rep)
+    for (const auto& f : faults) injector.apply(c, f);
+  EXPECT_EQ(mos.params().vth, vth_once);
+  EXPECT_EQ(relay.params().r_on, r_on_once);
+  EXPECT_EQ(relay.params().gate_leak_g, leak_once);
 }
 
 TEST(DegradationHooks, SaturateAtPhysicalBounds) {
