@@ -55,6 +55,11 @@ namespace {
 std::atomic<std::uint64_t> g_heap_allocs{0};
 }  // namespace
 
+// GCC's -Wmismatched-new-delete pairs call sites against the built-in
+// allocator knowledge and flags std::free() on new-ed pointers; with the
+// replacement operators malloc-backed, the pairing holds by definition.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 void* operator new(std::size_t size) {
   g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
@@ -65,6 +70,7 @@ void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace {
 

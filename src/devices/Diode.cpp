@@ -48,8 +48,12 @@ double Diode::power(const StampContext& ctx) const {
 
 
 spice::DeviceTopology Diode::topology() const {
-  return {{{"anode", anode_}, {"cathode", cathode_}},
-          {{0, 1, spice::DcCoupling::Conductive}}};
+  // No r_on summary: the exponential junction has no useful single switch
+  // resistance, so the STA engine keeps the edge for connectivity only.
+  spice::DeviceTopology t{{{"anode", anode_}, {"cathode", cathode_}},
+                          {{0, 1, spice::DcCoupling::Conductive}}};
+  t.couplings[0].c = params_.c_junction;
+  return t;
 }
 
 }  // namespace nemtcam::devices

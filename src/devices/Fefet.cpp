@@ -108,10 +108,26 @@ void Fefet::set_memory_window(double vth_low, double vth_high) {
 
 
 spice::DeviceTopology Fefet::topology() const {
-  return {{{"d", d_}, {"g", g_}, {"s", s_}},
-          {{0, 2, spice::DcCoupling::Conductive},
-           {1, 0, spice::DcCoupling::Capacitive},
-           {1, 2, spice::DcCoupling::Capacitive}}};
+  spice::DeviceTopology t{{{"d", d_}, {"g", g_}, {"s", s_}},
+                          {{0, 2, spice::DcCoupling::Conductive},
+                           {1, 0, spice::DcCoupling::Capacitive},
+                           {1, 2, spice::DcCoupling::Capacitive}}};
+  // Same macro-model as the MOSFET, at the polarization-dependent
+  // threshold: the LVT state is a real switch, the HVT state reports a
+  // huge r_on plus the above-rail off-leak — the 2FeFET matched-row droop.
+  auto& ch = t.couplings[0];
+  ch.r_on = ekv_switch_resistance(params_.fet, vth_eff());
+  ch.g_off = ekv_off_leak(params_.fet, vth_eff());
+  ch.ctrl = 1;
+  ch.v_on = vth_eff();
+  ch.active_low = params_.fet.type == MosType::Pmos;
+  ch.v_gs_ref = kSummaryRail;
+  ch.v_slope = params_.fet.n_slope * kThermalVoltage;
+  t.couplings[1].c = params_.fet.cgd;
+  t.couplings[2].c = params_.fet.cgs + params_.c_fe;
+  t.terminals[0].c_ground = params_.fet.cdb;
+  t.terminals[2].c_ground = params_.fet.csb;
+  return t;
 }
 
 }  // namespace nemtcam::devices

@@ -33,8 +33,13 @@ void Inductor::commit(const StampContext& ctx) {
 
 
 spice::DeviceTopology Inductor::topology() const {
-  // A DC short: the branch equation pins v_a = v_b.
-  return {{{"a", a_}, {"b", b_}}, {{0, 1, spice::DcCoupling::Conductive}}};
+  // A DC short: the branch equation pins v_a = v_b. r_on = 0 is the
+  // honest summary; the STA engine clamps zero-resistance edges to a
+  // floor conductance instead of dividing by zero.
+  spice::DeviceTopology t{{{"a", a_}, {"b", b_}},
+                          {{0, 1, spice::DcCoupling::Conductive}}};
+  t.couplings[0].r_on = 0.0;
+  return t;
 }
 
 }  // namespace nemtcam::devices

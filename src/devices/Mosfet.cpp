@@ -8,8 +8,6 @@ namespace nemtcam::devices {
 
 namespace {
 
-constexpr double kThermalVoltage = 0.02585;  // v_T at 300 K
-
 // softplus(x) = ln(1 + e^x) with overflow guard; also returns sigmoid(x)
 // (its derivative).
 struct Softplus {
@@ -91,6 +89,32 @@ MosEval ekv_eval(const MosfetParams& p, double vth_eff, double v_g, double v_d,
   return e;
 }
 
+double ekv_switch_resistance(const MosfetParams& p, double vth_eff) {
+  // Mid-swing chord resistance of the fully driven channel: NMOS with the
+  // gate at the rail discharging a half-rail drain (PMOS mirrored). A
+  // channel that cannot turn on at rail drive (FeFET HVT state) comes out
+  // astronomically resistive, which is the right macro-model answer.
+  const MosEval e =
+      p.type == MosType::Nmos
+          ? ekv_eval(p, vth_eff, kSummaryRail, 0.5 * kSummaryRail, 0.0)
+          : ekv_eval(p, vth_eff, 0.0, 0.5 * kSummaryRail, kSummaryRail);
+  const double i = std::abs(e.ids);
+  return i > 0.0 ? 0.5 * kSummaryRail / i : 1.0 / std::numeric_limits<double>::min();
+}
+
+double ekv_off_leak(const MosfetParams& p, double vth_eff) {
+  // Worst-case off-state chord leak across the full rail. The worst gate
+  // level that still leaves the channel off is 0 for a normal threshold,
+  // but full rail for a vth_eff above the rail (an HVT FeFET operates
+  // "off" at full gate drive, and that is its matched-search leak).
+  const double vg_off = vth_eff > kSummaryRail ? kSummaryRail : 0.0;
+  const MosEval e =
+      p.type == MosType::Nmos
+          ? ekv_eval(p, vth_eff, vg_off, kSummaryRail, 0.0)
+          : ekv_eval(p, vth_eff, kSummaryRail - vg_off, 0.0, kSummaryRail);
+  return std::abs(e.ids) / kSummaryRail;
+}
+
 Mosfet::Mosfet(std::string name, NodeId d, NodeId g, NodeId s,
                MosfetParams params)
     : Device(std::move(name)), d_(d), g_(g), s_(s), params_(params),
@@ -149,10 +173,28 @@ double Mosfet::ids(const StampContext& ctx) const {
 spice::DeviceTopology Mosfet::topology() const {
   // The channel conducts (at least subthreshold) at DC; the gate draws no
   // DC current — a node driving only gates has no DC path through them.
-  return {{{"d", d_}, {"g", g_}, {"s", s_}},
-          {{0, 2, spice::DcCoupling::Conductive},
-           {1, 0, spice::DcCoupling::Capacitive},
-           {1, 2, spice::DcCoupling::Capacitive}}};
+  spice::DeviceTopology t{{{"d", d_}, {"g", g_}, {"s", s_}},
+                          {{0, 2, spice::DcCoupling::Conductive},
+                           {1, 0, spice::DcCoupling::Capacitive},
+                           {1, 2, spice::DcCoupling::Capacitive}}};
+  auto& ch = t.couplings[0];
+  if (params_.vth != sum_vth_) {
+    sum_r_on_ = ekv_switch_resistance(params_, params_.vth);
+    sum_g_off_ = ekv_off_leak(params_, params_.vth);
+    sum_vth_ = params_.vth;
+  }
+  ch.r_on = sum_r_on_;
+  ch.g_off = sum_g_off_;
+  ch.ctrl = 1;
+  ch.v_on = params_.vth;
+  ch.active_low = params_.type == MosType::Pmos;
+  ch.v_gs_ref = kSummaryRail;
+  ch.v_slope = params_.n_slope * kThermalVoltage;
+  t.couplings[1].c = params_.cgd;
+  t.couplings[2].c = params_.cgs;
+  t.terminals[0].c_ground = params_.cdb;
+  t.terminals[2].c_ground = params_.csb;
+  return t;
 }
 
 }  // namespace nemtcam::devices

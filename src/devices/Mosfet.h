@@ -56,6 +56,20 @@ struct MosEval {
 MosEval ekv_eval(const MosfetParams& p, double vth_eff, double v_g, double v_d,
                  double v_s);
 
+// Small-signal summary helpers behind Device::topology() (shared with
+// Fefet): effective switch resistance of the fully driven channel and
+// worst-case off-state leak conductance, both chord values at the
+// library's nominal 1 V rail (see DeviceTopology::Coupling).
+// The rail the summaries are referenced to; also published as each
+// channel coupling's v_gs_ref so the STA engine can derate for partial
+// gate drive.
+inline constexpr double kSummaryRail = 1.0;
+// v_T at 300 K, shared with the Fefet and the coupling summary's
+// subthreshold-slope voltage (v_slope = n·v_T).
+inline constexpr double kThermalVoltage = 0.02585;
+double ekv_switch_resistance(const MosfetParams& p, double vth_eff);
+double ekv_off_leak(const MosfetParams& p, double vth_eff);
+
 class Mosfet final : public Device {
  public:
   Mosfet(std::string name, NodeId d, NodeId g, NodeId s, MosfetParams params);
@@ -105,6 +119,13 @@ class Mosfet final : public Device {
   MosfetParams params_;
   const double vth_nominal_ = params_.vth;  // pre-aging |V_th| for outliers
   CapCompanion cgs_c_, cgd_c_, cdb_c_, csb_c_;
+  // topology() summary cache: ekv_switch_resistance / ekv_off_leak are
+  // pure in (params, |V_th|) but cost transcendental evaluations, and the
+  // STA engine re-summarizes every device per analysis. |V_th| is the only
+  // parameter the aging / fault hooks mutate, so it is the cache key.
+  mutable double sum_vth_ = -1.0;
+  mutable double sum_r_on_ = 0.0;
+  mutable double sum_g_off_ = 0.0;
 };
 
 }  // namespace nemtcam::devices

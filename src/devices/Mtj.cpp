@@ -51,8 +51,12 @@ void Mtj::set_state(double m) {
 
 
 spice::DeviceTopology Mtj::topology() const {
-  return {{{"top", top_}, {"bottom", bottom_}},
-          {{0, 1, spice::DcCoupling::Conductive}}};
+  spice::DeviceTopology t{{{"top", top_}, {"bottom", bottom_}},
+                          {{0, 1, spice::DcCoupling::Conductive}}};
+  // State-dependent tunnel resistance: the STA engine sees the committed
+  // magnetization's value, exactly as the next transient would stamp it.
+  t.couplings[0].r_on = resistance();
+  return t;
 }
 
 }  // namespace nemtcam::devices

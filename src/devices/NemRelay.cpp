@@ -187,11 +187,30 @@ spice::DeviceTopology NemRelay::topology() const {
   // The open contact still stamps its g_off leakage, so drain–source is
   // structurally conductive in either mechanical state. The gate–body
   // actuation capacitor opens at DC unless an explicit leakage is set.
-  return {{{"d", d_}, {"g", g_}, {"s", s_}, {"b", b_}},
+  spice::DeviceTopology t{{{"d", d_}, {"g", g_}, {"s", s_}, {"b", b_}},
           {{0, 2, spice::DcCoupling::Conductive},
            {1, 3,
             params_.gate_leak_g > 0.0 ? spice::DcCoupling::Conductive
                                       : spice::DcCoupling::Capacitive}}};
+  // Contact: a static switch over an STA horizon — the mechanical
+  // traversal (τ_mech = 2 ns) dwarfs an ML discharge, so the committed
+  // position decides conduction, not the gate level.
+  auto& contact_edge = t.couplings[0];
+  contact_edge.r_on = params_.r_on;
+  contact_edge.g_off = params_.g_off;
+  contact_edge.on = contact();
+  // Actuation gap: position-dependent capacitance; a leaky dielectric
+  // turns the edge into a resistor of 1/gate_leak_g.
+  auto& gate_edge = t.couplings[1];
+  gate_edge.c = gate_capacitance();
+  if (params_.gate_leak_g > 0.0) gate_edge.r_on = 1.0 / params_.gate_leak_g;
+  // A closed relay's floating gate holds the stored datum: if its level
+  // decays below V_PO the beam releases. This is the paper's one-shot-
+  // refresh retention hazard, declared here so the sta.refresh-window
+  // rule can bound it without knowing anything relay-specific.
+  if (contact() && !stuck_)
+    t.terminals[1].v_hold = params_.v_po;
+  return t;
 }
 
 }  // namespace nemtcam::devices

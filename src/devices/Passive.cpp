@@ -78,11 +78,17 @@ void CapCompanion::commit(const StampContext& ctx, NodeId a, NodeId b) {
 
 
 spice::DeviceTopology Resistor::topology() const {
-  return {{{"a", a_}, {"b", b_}}, {{0, 1, spice::DcCoupling::Conductive}}};
+  spice::DeviceTopology t{{{"a", a_}, {"b", b_}},
+                          {{0, 1, spice::DcCoupling::Conductive}}};
+  t.couplings[0].r_on = ohms_;
+  return t;
 }
 
 spice::DeviceTopology Capacitor::topology() const {
-  return {{{"a", a_}, {"b", b_}}, {{0, 1, spice::DcCoupling::Capacitive}}};
+  spice::DeviceTopology t{{{"a", a_}, {"b", b_}},
+                          {{0, 1, spice::DcCoupling::Capacitive}}};
+  t.couplings[0].c = farads_;
+  return t;
 }
 
 }  // namespace nemtcam::devices

@@ -94,8 +94,15 @@ void Rram::set_resistance_window(double r_on, double r_off) {
 
 
 spice::DeviceTopology Rram::topology() const {
-  return {{{"top", top_}, {"bottom", bottom_}},
-          {{0, 1, spice::DcCoupling::Conductive}}};
+  spice::DeviceTopology t{{{"top", top_}, {"bottom", bottom_}},
+                          {{0, 1, spice::DcCoupling::Conductive}}};
+  // Filament-state resistance. An HRS cell is still a real (weak)
+  // conduction path — which is precisely the finite ON/OFF-ratio droop
+  // that limits RRAM match-line array size; the STA engine reproduces
+  // that hazard only because the summary reports HRS as a resistance,
+  // not as leakage on an off switch.
+  t.couplings[0].r_on = resistance();
+  return t;
 }
 
 }  // namespace nemtcam::devices

@@ -70,6 +70,15 @@ spice::DeviceTopology VSource::topology() const {
   spice::DeviceTopology t{{{"plus", plus_}, {"minus", minus_}},
                    {{0, 1, spice::DcCoupling::Conductive}},
                    /*is_source=*/true};
+  // Pin model for the STA engine: drive level before the first edge and
+  // after the last one. All shipped waveforms (DC, PWL, single PULSE)
+  // clamp at the ends, so one sample at a horizon past every transaction
+  // window reads the settled level.
+  constexpr double kSettleHorizon = 1.0;  // s; far beyond any transaction
+  t.source_is_voltage = true;
+  t.source_v_init = wave_->value(0.0);
+  t.source_v_final = wave_->value(kSettleHorizon);
+  t.source_r_series = series_ohms_;
   return t;
 }
 

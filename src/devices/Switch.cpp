@@ -21,7 +21,12 @@ double Switch::power(const StampContext& ctx) const {
 
 spice::DeviceTopology Switch::topology() const {
   // r_off is finite, so the pair is conductive in either state.
-  return {{{"a", a_}, {"b", b_}}, {{0, 1, spice::DcCoupling::Conductive}}};
+  spice::DeviceTopology t{{{"a", a_}, {"b", b_}},
+                          {{0, 1, spice::DcCoupling::Conductive}}};
+  t.couplings[0].r_on = r_on_;
+  t.couplings[0].g_off = 1.0 / r_off_;
+  t.couplings[0].on = closed_;
+  return t;
 }
 
 }  // namespace nemtcam::devices

@@ -535,7 +535,10 @@ ParsedNetlist parse_netlist(const std::string& text) {
     Device* dev =
         add_element_card(p, *out.circuit, tokens, "", resolve_global,
                          &deferred);
-    if (dev != nullptr) by_name[lower(tokens[0])] = dev;
+    if (dev != nullptr) {
+      by_name[lower(tokens[0])] = dev;
+      out.device_lines[dev->name()] = p.line_no;
+    }
   }
 
   if (open_subckt != nullptr)
@@ -558,22 +561,25 @@ ParsedNetlist parse_netlist(const std::string& text) {
                              out.circuit->node(lower(t[2])), *it->second,
                              p.num(t[4]));
     }
+    out.device_lines[t[0]] = d.line_no;
   }
 
   // Flatten the X instances. The emitter routes every text card back
   // through the shared element grammar with instance-scoped names.
   if (!instances.empty()) {
     hier::ElaborateOptions eopts;
-    eopts.text_emitter = [](Circuit& ckt, const hier::TextCardRequest& req,
-                            const hier::NodeResolver& resolve) -> Device* {
+    eopts.text_emitter = [&out](Circuit& ckt, const hier::TextCardRequest& req,
+                                const hier::NodeResolver& resolve) -> Device* {
       Parser sub_p{};
       sub_p.line_no = req.line_no;
       const std::string prefix =
           req.scope.empty() ? std::string() : req.scope + ".";
-      return add_element_card(
+      Device* dev = add_element_card(
           sub_p, ckt, req.tokens, prefix,
           [&](const std::string& tok) { return resolve(lower(tok)); },
           /*deferred=*/nullptr);
+      if (dev != nullptr) out.device_lines[dev->name()] = req.line_no;
+      return dev;
     };
     for (const auto& pending : instances) {
       try {

@@ -44,6 +44,7 @@
 // Numbers are parsed with `parse_spice_number`, exposed for reuse.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -69,6 +70,10 @@ struct ParsedNetlist {
   std::unique_ptr<Circuit> circuit;
   ParsedAnalysis analysis;
   std::vector<std::string> print_nodes;  // names from .print v(...)
+  // Deck line each device card came from, keyed by the circuit device
+  // name (instance-scoped devices report the .subckt body card's line).
+  // Lets lint findings point back at the offending source line.
+  std::map<std::string, int> device_lines;
 };
 
 // Parses a full deck; throws NetlistError with a line-numbered message on

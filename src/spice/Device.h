@@ -92,18 +92,89 @@ enum class DcCoupling {
 // declarative topology, independent of the stamp values — a relay reports
 // its drain–source contact as Conductive whether open or closed, because
 // the open contact still stamps its g_off leakage slot.
+//
+// Beyond the structural kind, every terminal and coupling carries an
+// optional *small-signal summary* — effective on-resistance, off-state
+// leakage, capacitance, and gating — consumed by the static timing/energy
+// engine (nemtcam::sta). The summary is a worst-case macro-model, not the
+// Newton stamp: a MOSFET reports one switch resistance at full-rail gate
+// drive, not its bias-dependent I–V. All summary members are defaulted so
+// aggregate-initialized topologies from devices that predate the STA
+// engine stay valid (r_on < 0 marks "no resistance model": the STA engine
+// skips such edges for path enumeration but keeps them for connectivity).
 struct DeviceTopology {
+  // Sentinel for Terminal::v_hold: the terminal does not hold state.
+  static constexpr double kNoHold = -std::numeric_limits<double>::infinity();
+
   struct Terminal {
     const char* label;  // schematic role, e.g. "d", "g", "plus"
     NodeId node;
+    // --- small-signal summary (nemtcam::sta) ---
+    // Parasitic capacitance from this terminal to ground (F) that is not
+    // reported as a pair coupling: MOS junction caps, electrode plates.
+    double c_ground = 0.0;
+    // State-holding terminal: the device loses its committed state if this
+    // terminal's level decays below v_hold — a closed NEM relay's floating
+    // gate must stay at |V_GB| ≥ V_PO or the beam releases. kNoHold (the
+    // default) marks a terminal with no retention requirement. This is the
+    // hook behind the sta.refresh-window rule: the paper's one-shot-refresh
+    // hazard reduces to "leakage must not cross v_hold within the refresh
+    // period" for every terminal that sets it.
+    double v_hold = kNoHold;
+    bool holds_state() const noexcept { return v_hold != kNoHold; }
   };
   struct Coupling {
     int a, b;  // indices into `terminals`
     DcCoupling kind;
+    // --- small-signal summary (nemtcam::sta) ---
+    // Effective series resistance of the pair when conducting (Ω). For a
+    // gated channel this is the switch resistance at full-rail drive
+    // (the library's nominal 1 V rail; calibration factors absorb other
+    // operating points). Negative = no resistance model: the edge exists
+    // structurally but the STA engine must not put it on a timing path
+    // (controlled sources, diodes).
+    double r_on = -1.0;
+    // Worst-case leakage conductance when NOT conducting (S): open relay
+    // contact g_off, MOS subthreshold leak at V_GS = 0, switch 1/r_off.
+    // Feeds matched-matchline droop and storage-node retention bounds.
+    double g_off = 0.0;
+    // Capacitance across the pair (F): explicit capacitor value, MOS gate
+    // overlap, relay actuation gap. The STA engine lumps it to ground at
+    // both ends (quiet-neighbor worst case).
+    double c = 0.0;
+    // Channel gating. ctrl < 0: conduction is static over an STA horizon
+    // and `on` reports the committed state (resistor: always true; relay
+    // contact: mechanical position — actuation is orders of magnitude
+    // slower than an ML transient). ctrl ≥ 0: index into `terminals` of
+    // the controlling gate; the edge conducts when the gate level clears
+    // the channel by v_on (active_low: a PMOS conducts when the gate sits
+    // v_on *below* the high channel side).
+    int ctrl = -1;
+    double v_on = 0.0;
+    bool active_low = false;
+    bool on = true;
+    // Gate drive at which r_on was summarized (V). When > v_on, the STA
+    // engine derates the channel for partial gate drive by the ratio of
+    // saturation currents at the two overdrives — a divider-driven gate at
+    // 0.6 V conducts far less than the rail-referenced chord. 0 = no
+    // derating model.
+    double v_gs_ref = 0.0;
+    // Subthreshold slope voltage n·v_T (V) for the derate interpolation:
+    // with it the near-threshold moderate-inversion tail is EKV-exact;
+    // 0 falls back to hard square-law overdrive scaling.
+    double v_slope = 0.0;
   };
   std::vector<Terminal> terminals;
   std::vector<Coupling> couplings;
   bool is_source = false;  // independent source: drives the circuit
+  // Independent-source drive summary: the drive level at t = 0 and at the
+  // settle horizon (after all waveform edges), plus the driver's series
+  // resistance — the STA engine's pin model. Meaningful only for voltage-
+  // defining sources (source_is_voltage).
+  bool source_is_voltage = false;
+  double source_v_init = 0.0;   // drive level at t = 0 (V)
+  double source_v_final = 0.0;  // settled drive level as t → ∞ (V)
+  double source_r_series = 0.0; // driver series resistance (Ω)
 };
 
 class Device {

@@ -1,0 +1,640 @@
+#include "sta/RcGraph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "linalg/SparseLu.h"
+#include "linalg/SparseMatrix.h"
+
+namespace nemtcam::sta {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The gated-edge states and the node levels must reach a joint fixpoint.
+// While states are still flipping, cheap Gauss–Seidel sweeps are enough to
+// drive the threshold comparisons (kStateSweeps below); once they settle,
+// one exact sparse-LU solve delivers the final levels, and a last state
+// re-check guards against a level landing on the other side of a gate
+// threshold.
+constexpr int kMaxStateIters = 8;
+constexpr int kStateSweeps = 24;
+}  // namespace
+
+RcGraph::RcGraph(spice::Circuit& circuit) : circuit_(&circuit) {
+  n_nodes_ = static_cast<int>(circuit.node_count());
+  cap_.assign(static_cast<std::size_t>(n_nodes_), 0.0);
+  pin_of_.assign(static_cast<std::size_t>(n_nodes_), -1);
+  edges_.reserve(circuit.devices().size() * 2);
+  xcaps_.reserve(circuit.devices().size() * 2);
+
+  for (const auto& dev : circuit.devices()) {
+    const spice::DeviceTopology t = dev->topology();
+    for (const auto& term : t.terminals) {
+      cap_[static_cast<std::size_t>(term.node)] += term.c_ground;
+      if (term.holds_state() && term.node != spice::kGround)
+        holds_.push_back({term.node, term.v_hold, dev.get()});
+    }
+    for (const auto& cp : t.couplings) {
+      const spice::NodeId na = t.terminals[static_cast<std::size_t>(cp.a)].node;
+      const spice::NodeId nb = t.terminals[static_cast<std::size_t>(cp.b)].node;
+      // Pair capacitance lumps to ground at both ends: each end sees the
+      // full c against a quasi-static far side (quiet-neighbor worst case).
+      if (cp.c > 0.0) {
+        cap_[static_cast<std::size_t>(na)] += cp.c;
+        cap_[static_cast<std::size_t>(nb)] += cp.c;
+        if (na != nb && (na != spice::kGround || nb != spice::kGround))
+          xcaps_.push_back({na, nb, cp.c});
+      }
+      if (na == nb) continue;
+      const bool has_r = cp.r_on >= 0.0;
+      if (!has_r && cp.g_off <= 0.0) continue;  // connectivity-only edge
+      RcEdge e;
+      e.a = na;
+      e.b = nb;
+      e.has_r = has_r;
+      e.g_on = has_r ? 1.0 / std::max(cp.r_on, kMinR) : 0.0;
+      e.g_off = cp.g_off;
+      e.switchable = cp.ctrl >= 0;
+      if (e.switchable)
+        e.ctrl = t.terminals[static_cast<std::size_t>(cp.ctrl)].node;
+      e.v_on = cp.v_on;
+      e.active_low = cp.active_low;
+      e.static_on = cp.on;
+      e.v_gs_ref = cp.v_gs_ref;
+      e.v_slope = cp.v_slope;
+      e.device = dev.get();
+      edges_.push_back(e);
+    }
+    if (t.is_source && t.source_is_voltage && t.terminals.size() >= 2) {
+      // Pin the non-ground end; a source floating between two live nodes
+      // has no single pinned node and is skipped (none shipped).
+      const spice::NodeId plus = t.terminals[0].node;
+      const spice::NodeId minus = t.terminals[1].node;
+      RcPin p;
+      p.r_series = t.source_r_series;
+      p.device = dev.get();
+      if (minus == spice::kGround && plus != spice::kGround) {
+        p.node = plus;
+        p.v_init = t.source_v_init;
+        p.v_final = t.source_v_final;
+      } else if (plus == spice::kGround && minus != spice::kGround) {
+        p.node = minus;
+        p.v_init = -t.source_v_init;
+        p.v_final = -t.source_v_final;
+      } else {
+        continue;
+      }
+      pin_of_[static_cast<std::size_t>(p.node)] =
+          static_cast<int>(pins_.size());
+      pins_.push_back(p);
+    }
+  }
+
+  // Adjacency in a second, exact-sized pass: growing per-node vectors
+  // inline with the device walk costs thousands of small reallocations on
+  // a full-width template.
+  adj_.assign(static_cast<std::size_t>(n_nodes_), {});
+  xadj_.assign(static_cast<std::size_t>(n_nodes_), {});
+  std::vector<int> deg(static_cast<std::size_t>(n_nodes_), 0);
+  for (const auto& e : edges_) {
+    ++deg[static_cast<std::size_t>(e.a)];
+    ++deg[static_cast<std::size_t>(e.b)];
+  }
+  for (int n = 0; n < n_nodes_; ++n)
+    adj_[static_cast<std::size_t>(n)].reserve(
+        static_cast<std::size_t>(deg[static_cast<std::size_t>(n)]));
+  for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+    adj_[static_cast<std::size_t>(edges_[ei].a)].push_back(
+        static_cast<int>(ei));
+    adj_[static_cast<std::size_t>(edges_[ei].b)].push_back(
+        static_cast<int>(ei));
+  }
+  std::fill(deg.begin(), deg.end(), 0);
+  for (const auto& x : xcaps_) {
+    ++deg[static_cast<std::size_t>(x.a)];
+    ++deg[static_cast<std::size_t>(x.b)];
+  }
+  for (int n = 0; n < n_nodes_; ++n)
+    xadj_[static_cast<std::size_t>(n)].reserve(
+        static_cast<std::size_t>(deg[static_cast<std::size_t>(n)]));
+  for (std::size_t xi = 0; xi < xcaps_.size(); ++xi) {
+    xadj_[static_cast<std::size_t>(xcaps_[xi].a)].push_back(
+        static_cast<int>(xi));
+    xadj_[static_cast<std::size_t>(xcaps_[xi].b)].push_back(
+        static_cast<int>(xi));
+  }
+}
+
+double RcGraph::ic(spice::NodeId n) const {
+  const auto it = circuit_->ics().find(n);
+  return it == circuit_->ics().end() ? 0.0 : it->second;
+}
+
+bool RcGraph::edge_conducts(const RcEdge& e,
+                            const std::vector<double>& v) const {
+  if (!e.has_r) return false;
+  if (!e.switchable) return e.static_on;
+  const double va = v[static_cast<std::size_t>(e.a)];
+  const double vb = v[static_cast<std::size_t>(e.b)];
+  const double vc = v[static_cast<std::size_t>(e.ctrl)];
+  if (e.active_low) return vc <= std::max(va, vb) - e.v_on;
+  return vc >= std::min(va, vb) + e.v_on;
+}
+
+LevelSolution RcGraph::solve(bool use_final) const {
+  LevelSolution s;
+  s.v.assign(static_cast<std::size_t>(n_nodes_), 0.0);
+  s.edge_on.assign(edges_.size(), 0);
+  s.strong.assign(edges_.size(), 0);
+  s.floating.assign(static_cast<std::size_t>(n_nodes_), 0);
+
+  for (int n = 1; n < n_nodes_; ++n)
+    s.v[static_cast<std::size_t>(n)] = ic(static_cast<spice::NodeId>(n));
+  for (const auto& p : pins_)
+    s.v[static_cast<std::size_t>(p.node)] = use_final ? p.v_final : p.v_init;
+
+  bool exact = false;
+  std::vector<std::vector<char>> seen_states;
+  for (int iter = 0; iter <= kMaxStateIters; ++iter) {
+    bool states_changed = iter == 0;
+    for (std::size_t ei = 0; ei < edges_.size(); ++ei) {
+      const char on = edge_conducts(edges_[ei], s.v) ? 1 : 0;
+      if (on != s.edge_on[ei]) states_changed = true;
+      s.edge_on[ei] = on;
+      s.strong[ei] = (on != 0 && edges_[ei].g_on >= kWeakG) ? 1 : 0;
+    }
+    if (!states_changed && exact) break;
+    // Cycle detection: a cross-coupled pair (the SRAM latch) can make the
+    // switch-level states oscillate with no fixpoint. Once a state set
+    // repeats, further rounds only replay the cycle — solve the current
+    // states exactly and stop.
+    bool cycle = false;
+    if (states_changed) {
+      for (const auto& prev : seen_states)
+        if (prev == s.edge_on) {
+          cycle = true;
+          break;
+        }
+      if (!cycle) seen_states.push_back(s.edge_on);
+    }
+
+    // Strong reachability from ground and every pin: the nodes the window
+    // can actually move. Everything else holds its IC.
+    std::vector<char> reached(static_cast<std::size_t>(n_nodes_), 0);
+    std::queue<spice::NodeId> q;
+    reached[0] = 1;
+    q.push(spice::kGround);
+    for (const auto& p : pins_) {
+      if (!reached[static_cast<std::size_t>(p.node)]) {
+        reached[static_cast<std::size_t>(p.node)] = 1;
+        q.push(p.node);
+      }
+    }
+    while (!q.empty()) {
+      const spice::NodeId n = q.front();
+      q.pop();
+      for (const int ei : adj_[static_cast<std::size_t>(n)]) {
+        if (!s.strong[static_cast<std::size_t>(ei)]) continue;
+        const RcEdge& e = edges_[static_cast<std::size_t>(ei)];
+        const spice::NodeId m = e.a == n ? e.b : e.a;
+        if (!reached[static_cast<std::size_t>(m)]) {
+          reached[static_cast<std::size_t>(m)] = 1;
+          q.push(m);
+        }
+      }
+    }
+    for (int n = 0; n < n_nodes_; ++n)
+      s.floating[static_cast<std::size_t>(n)] =
+          (!reached[static_cast<std::size_t>(n)] && pin_of_[static_cast<std::size_t>(n)] < 0 &&
+           n != 0)
+              ? 1
+              : 0;
+    // Reset IC on floating nodes (an earlier iteration's states may have
+    // relaxed them), then relax the reachable interior.
+    for (int n = 1; n < n_nodes_; ++n)
+      if (s.floating[static_cast<std::size_t>(n)])
+        s.v[static_cast<std::size_t>(n)] = ic(static_cast<spice::NodeId>(n));
+
+    std::vector<int> unknown;
+    unknown.reserve(static_cast<std::size_t>(n_nodes_));
+    for (int n = 1; n < n_nodes_; ++n) {
+      const std::size_t ni = static_cast<std::size_t>(n);
+      if (reached[ni] && pin_of_[ni] < 0) unknown.push_back(n);
+    }
+    if (states_changed && !cycle && iter < kMaxStateIters) {
+      // States still in flux: a few relaxation sweeps are accurate enough
+      // to decide the next round of threshold comparisons — factorizing
+      // here would be wasted on levels about to be invalidated.
+      for (int sweep = 0; sweep < kStateSweeps; ++sweep) {
+        double max_delta = 0.0;
+        const bool forward = (sweep % 2) == 0;
+        for (std::size_t k = 0; k < unknown.size(); ++k) {
+          const int n =
+              forward ? unknown[k] : unknown[unknown.size() - 1 - k];
+          const std::size_t ni = static_cast<std::size_t>(n);
+          double gsum = 0.0, isum = 0.0;
+          for (const int ei : adj_[ni]) {
+            if (!s.strong[static_cast<std::size_t>(ei)]) continue;
+            const RcEdge& e = edges_[static_cast<std::size_t>(ei)];
+            const spice::NodeId m = e.a == n ? e.b : e.a;
+            gsum += e.g_on;
+            isum += e.g_on * s.v[static_cast<std::size_t>(m)];
+          }
+          if (gsum <= 0.0) continue;
+          const double v_new = isum / gsum;
+          max_delta = std::max(max_delta, std::abs(v_new - s.v[ni]));
+          s.v[ni] = v_new;
+        }
+        if (max_delta < 1e-6) break;
+      }
+      exact = false;
+    } else {
+      std::vector<double> g(edges_.size(), 0.0);
+      for (std::size_t ei = 0; ei < edges_.size(); ++ei)
+        if (s.strong[ei]) g[ei] = edges_[ei].g_on;
+      solve_nodal(unknown, g, s.strong, spice::kGround, 0.0, s.v);
+      exact = true;
+      if (cycle) break;
+    }
+  }
+  return s;
+}
+
+void RcGraph::solve_nodal(const std::vector<int>& unknown,
+                          const std::vector<double>& g_edge,
+                          const std::vector<char>& use_edge,
+                          spice::NodeId inj_node, double i_inj,
+                          std::vector<double>& v) const {
+  const std::size_t n = unknown.size();
+  if (n == 0) return;
+  std::vector<int>& row_of = ws_row_of_;
+  row_of.assign(static_cast<std::size_t>(n_nodes_), -1);
+  for (std::size_t k = 0; k < n; ++k)
+    row_of[static_cast<std::size_t>(unknown[k])] = static_cast<int>(k);
+
+  // Reduced conductance graph over the unknowns: per-row neighbor list
+  // (possibly with duplicates / stale entries — compacted lazily), lumped
+  // boundary conductance, and the right-hand-side current (boundary
+  // injection plus the explicit source). The per-row lists come from the
+  // pool with their capacity intact.
+  std::vector<std::vector<std::pair<int, double>>>& nbr = ws_nbr_;
+  if (nbr.size() < n) nbr.resize(n);
+  for (std::size_t k = 0; k < n; ++k) nbr[k].clear();
+  std::vector<double>& gb = ws_gb_;
+  std::vector<double>& rhs = ws_rhs_;
+  gb.assign(n, 0.0);
+  rhs.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const int cur = unknown[k];
+    for (const int ei : adj_[static_cast<std::size_t>(cur)]) {
+      const std::size_t e_idx = static_cast<std::size_t>(ei);
+      if (!use_edge[e_idx]) continue;
+      const double ge = g_edge[e_idx];
+      if (ge <= 0.0) continue;
+      const RcEdge& e = edges_[e_idx];
+      const int m = static_cast<int>(e.a == cur ? e.b : e.a);
+      const int rm = row_of[static_cast<std::size_t>(m)];
+      if (rm >= 0)
+        nbr[k].push_back({rm, ge});
+      else {
+        gb[k] += ge;
+        rhs[k] += ge * v[static_cast<std::size_t>(m)];
+      }
+    }
+    if (nbr[k].empty() && gb[k] <= 0.0) {
+      // No active incident edge: hold the node where it is.
+      gb[k] = 1.0;
+      rhs[k] = v[static_cast<std::size_t>(unknown[k])];
+    }
+    if (static_cast<spice::NodeId>(cur) == inj_node) rhs[k] += i_inj;
+  }
+
+  // Exact degree-≤2 Gaussian elimination on the graph: series stacks and
+  // wire ladders (the bulk of every template) collapse in O(n), leaving
+  // only genuine hubs (the ML star, mesh joints) for the sparse LU. For a
+  // Laplacian M-matrix the pivot dv = gu + gw + gb is always positive, so
+  // no pivoting is needed and the reduction is exact, not approximate.
+  std::vector<char>& alive = ws_alive_;
+  std::vector<int>& pos = ws_pos_;
+  alive.assign(n, 1);
+  pos.assign(n, -1);
+  auto compact = [&](std::size_t k) {
+    auto& l = nbr[k];
+    std::size_t w = 0;
+    for (const auto& [m, ge] : l) {
+      if (!alive[static_cast<std::size_t>(m)]) continue;
+      if (pos[static_cast<std::size_t>(m)] < 0) {
+        pos[static_cast<std::size_t>(m)] = static_cast<int>(w);
+        l[w++] = {m, ge};
+      } else {
+        l[static_cast<std::size_t>(pos[static_cast<std::size_t>(m)])].second +=
+            ge;
+      }
+    }
+    l.resize(w);
+    for (const auto& [m, ge] : l) pos[static_cast<std::size_t>(m)] = -1;
+  };
+  struct Elim {
+    int node = -1;       // eliminated row
+    int u = -1, w = -1;  // surviving neighbors (−1 when absent)
+    double gu = 0.0, gw = 0.0;
+    double dv = 0.0, r = 0.0;
+  };
+  std::vector<Elim> elims;
+  elims.reserve(n);
+  std::vector<int> queue;
+  queue.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) queue.push_back(static_cast<int>(k));
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const std::size_t k = static_cast<std::size_t>(queue[head]);
+    if (!alive[k]) continue;
+    compact(k);
+    const std::size_t d = nbr[k].size();
+    if (d > 2) continue;  // re-queued when a neighbor's elimination drops d
+    Elim el;
+    el.node = static_cast<int>(k);
+    el.r = rhs[k];
+    el.dv = gb[k];
+    if (d >= 1) {
+      el.u = nbr[k][0].first;
+      el.gu = nbr[k][0].second;
+      el.dv += el.gu;
+    }
+    if (d == 2) {
+      el.w = nbr[k][1].first;
+      el.gw = nbr[k][1].second;
+      el.dv += el.gw;
+    }
+    alive[k] = 0;
+    if (el.u >= 0) {
+      const std::size_t u = static_cast<std::size_t>(el.u);
+      gb[u] += el.gu * gb[k] / el.dv;
+      rhs[u] += el.gu * el.r / el.dv;
+      if (el.w >= 0) {
+        const std::size_t w2 = static_cast<std::size_t>(el.w);
+        const double g_series = el.gu * el.gw / el.dv;
+        nbr[u].push_back({el.w, g_series});
+        nbr[w2].push_back({el.u, g_series});
+        gb[w2] += el.gw * gb[k] / el.dv;
+        rhs[w2] += el.gw * el.r / el.dv;
+        queue.push_back(el.w);
+      }
+      queue.push_back(el.u);
+    }
+    elims.push_back(el);
+  }
+
+  // Whatever survives goes through the sparse LU. Every unknown component
+  // reaches a Dirichlet boundary (reachability / component construction
+  // guarantees it), so the reduced Laplacian is a nonsingular M-matrix.
+  std::vector<int> dense_of(n, -1);
+  std::vector<std::size_t> alive_rows;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (!alive[k]) continue;
+    dense_of[k] = static_cast<int>(alive_rows.size());
+    alive_rows.push_back(k);
+  }
+  std::vector<double> x(n, 0.0);
+  if (!alive_rows.empty()) {
+    linalg::SparseMatrix a(alive_rows.size(), alive_rows.size());
+    std::vector<double> b(alive_rows.size(), 0.0);
+    for (std::size_t r = 0; r < alive_rows.size(); ++r) {
+      const std::size_t k = alive_rows[r];
+      compact(k);
+      double diag = gb[k];
+      for (const auto& [m, ge] : nbr[k]) {
+        diag += ge;
+        a.add(r, static_cast<std::size_t>(dense_of[static_cast<std::size_t>(m)]),
+              -ge);
+      }
+      a.add(r, r, diag);
+      b[r] = rhs[k];
+    }
+    linalg::SparseLu lu(a);
+    const std::vector<double> xr = lu.solve(b);
+    for (std::size_t r = 0; r < alive_rows.size(); ++r)
+      x[alive_rows[r]] = xr[r];
+  }
+  // Back-substitute the eliminations in reverse: by construction a
+  // record's surviving neighbors are resolved later, so their levels are
+  // already known here.
+  for (std::size_t i = elims.size(); i-- > 0;) {
+    const Elim& el = elims[i];
+    double num = el.r;
+    if (el.u >= 0) num += el.gu * x[static_cast<std::size_t>(el.u)];
+    if (el.w >= 0) num += el.gw * x[static_cast<std::size_t>(el.w)];
+    x[static_cast<std::size_t>(el.node)] = num / el.dv;
+  }
+  for (std::size_t k = 0; k < n; ++k)
+    v[static_cast<std::size_t>(unknown[k])] = x[k];
+}
+
+namespace {
+// EKV forward-current interpolation F(x) = ln²(1 + e^{x/2}) of the
+// normalized overdrive x = od/(n·v_T): quadratic in strong inversion,
+// exponential below threshold. The ratio of two F values is the ratio of
+// saturation currents, which is exactly the derate a partially driven
+// gate needs (a divider-held gate 50 mV above V_th runs in moderate
+// inversion at ~3 % of the rail-referenced chord current).
+double ekv_f(double x) {
+  const double h = 0.5 * x;
+  const double sp = h > 40.0 ? h : std::log1p(std::exp(h));
+  return sp * sp;
+}
+}  // namespace
+
+double RcGraph::g_timing(int ei, const LevelSolution& s) const {
+  const RcEdge& e = edges_[static_cast<std::size_t>(ei)];
+  if (!e.switchable || e.v_gs_ref <= e.v_on) return e.g_on;
+  const double va = s.v[static_cast<std::size_t>(e.a)];
+  const double vb = s.v[static_cast<std::size_t>(e.b)];
+  const double vc = s.v[static_cast<std::size_t>(e.ctrl)];
+  const double od = e.active_low ? std::max(va, vb) - vc - e.v_on
+                                 : vc - std::min(va, vb) - e.v_on;
+  const double od_ref = e.v_gs_ref - e.v_on;
+  if (od >= od_ref) return e.g_on;
+  if (e.v_slope > 0.0)
+    return e.g_on * ekv_f(od / e.v_slope) / ekv_f(od_ref / e.v_slope);
+  // No slope model: hard square-law, floored at a weak-inversion residue
+  // so a barely-on gate stays finite instead of opening the path.
+  const double ratio = std::max(od, 0.0) / od_ref;
+  return e.g_on * std::max(ratio * ratio, 1e-3);
+}
+
+double RcGraph::thevenin_r(spice::NodeId n, const LevelSolution& s) const {
+  const std::size_t ni = static_cast<std::size_t>(n);
+  if (pin_of_[ni] >= 0) return pins_[static_cast<std::size_t>(pin_of_[ni])].r_series;
+  // Component of n over conducting edges, with pins/ground as shorted
+  // boundary (not expanded through).
+  std::vector<int> comp;
+  std::vector<char> in_comp(static_cast<std::size_t>(n_nodes_), 0);
+  bool touches_boundary = false;
+  comp.push_back(static_cast<int>(n));
+  in_comp[ni] = 1;
+  for (std::size_t head = 0; head < comp.size(); ++head) {
+    const int cur = comp[head];
+    for (const int ei : adj_[static_cast<std::size_t>(cur)]) {
+      if (!s.edge_on[static_cast<std::size_t>(ei)]) continue;
+      const RcEdge& e = edges_[static_cast<std::size_t>(ei)];
+      const int m = static_cast<int>(e.a == cur ? e.b : e.a);
+      if (m == 0 || pin_of_[static_cast<std::size_t>(m)] >= 0) {
+        touches_boundary = true;
+        continue;
+      }
+      if (!in_comp[static_cast<std::size_t>(m)]) {
+        in_comp[static_cast<std::size_t>(m)] = 1;
+        comp.push_back(m);
+      }
+    }
+  }
+  if (!touches_boundary) return kInf;
+
+  // Unit current into n, boundary at 0 V: v(n) is R_th, exactly, over the
+  // overdrive-derated timing conductances.
+  std::vector<double> g(edges_.size(), 0.0);
+  std::vector<char> use(edges_.size(), 0);
+  for (const int cur : comp) {
+    for (const int ei : adj_[static_cast<std::size_t>(cur)]) {
+      const std::size_t e_idx = static_cast<std::size_t>(ei);
+      if (!s.edge_on[e_idx] || use[e_idx]) continue;
+      use[e_idx] = 1;
+      g[e_idx] = g_timing(ei, s);
+    }
+  }
+  std::vector<double> v(static_cast<std::size_t>(n_nodes_), 0.0);
+  solve_nodal(comp, g, use, n, 1.0, v);
+  return v[ni];
+}
+
+double RcGraph::swing_cap(spice::NodeId n, const LevelSolution& s) const {
+  std::vector<int> comp{static_cast<int>(n)};
+  std::vector<char> in_comp(static_cast<std::size_t>(n_nodes_), 0);
+  in_comp[static_cast<std::size_t>(n)] = 1;
+  double c = 0.0;
+  for (std::size_t head = 0; head < comp.size(); ++head) {
+    const int cur = comp[head];
+    c += cap_[static_cast<std::size_t>(cur)];
+    for (const int ei : adj_[static_cast<std::size_t>(cur)]) {
+      if (!s.strong[static_cast<std::size_t>(ei)]) continue;
+      const RcEdge& e = edges_[static_cast<std::size_t>(ei)];
+      const int m = static_cast<int>(e.a == cur ? e.b : e.a);
+      if (m == 0 || pin_of_[static_cast<std::size_t>(m)] >= 0) continue;
+      if (!in_comp[static_cast<std::size_t>(m)]) {
+        in_comp[static_cast<std::size_t>(m)] = 1;
+        comp.push_back(m);
+      }
+    }
+  }
+  return c;
+}
+
+double RcGraph::leak_current(spice::NodeId n, double v_n,
+                             const LevelSolution& s) const {
+  double i = 0.0;
+  for (const int ei : adj_[static_cast<std::size_t>(n)]) {
+    const std::size_t e_idx = static_cast<std::size_t>(ei);
+    if (s.strong[e_idx]) continue;  // strong edges are timing, not leak
+    const RcEdge& e = edges_[e_idx];
+    const double g = s.edge_on[e_idx] ? e.g_on : e.g_off;
+    if (g <= 0.0) continue;
+    const spice::NodeId m = e.a == n ? e.b : e.a;
+    i += g * (v_n - s.v[static_cast<std::size_t>(m)]);
+  }
+  return i;
+}
+
+RcGraph::Elmore RcGraph::elmore_from(const RcPin& p,
+                                     const LevelSolution& s) const {
+  // BFS tree over static strong edges (wire resistors, closed contacts —
+  // not gated channels, whose load belongs to the matchline analysis).
+  std::vector<int>& order = ws_order_;
+  order.clear();
+  order.push_back(static_cast<int>(p.node));
+  std::vector<int>& parent = ws_parent_;
+  parent.assign(static_cast<std::size_t>(n_nodes_), -1);
+  std::vector<double>& r_up = ws_r_up_;
+  r_up.assign(static_cast<std::size_t>(n_nodes_), 0.0);
+  std::vector<char>& seen = ws_seen_;
+  seen.assign(static_cast<std::size_t>(n_nodes_), 0);
+  seen[static_cast<std::size_t>(p.node)] = 1;
+  for (std::size_t head = 0; head < order.size(); ++head) {
+    const int cur = order[head];
+    for (const int ei : adj_[static_cast<std::size_t>(cur)]) {
+      const std::size_t e_idx = static_cast<std::size_t>(ei);
+      const RcEdge& e = edges_[e_idx];
+      if (e.switchable || !s.strong[e_idx]) continue;
+      const int m = static_cast<int>(e.a == cur ? e.b : e.a);
+      if (m == 0 || pin_of_[static_cast<std::size_t>(m)] >= 0) continue;
+      if (seen[static_cast<std::size_t>(m)]) continue;
+      seen[static_cast<std::size_t>(m)] = 1;
+      parent[static_cast<std::size_t>(m)] = cur;
+      r_up[static_cast<std::size_t>(m)] = 1.0 / e.g_on;
+      order.push_back(m);
+    }
+  }
+
+  Elmore res;
+  res.n_nodes = static_cast<int>(order.size());
+  res.far_node = p.node;
+
+  // Post-order accumulation of downstream cap, then of Σ C·m1. The pooled
+  // arrays are only resized, not cleared: every visited node's slot is
+  // written before it is read, and unvisited slots are never touched.
+  std::vector<double>& c_down = ws_c_down_;
+  c_down.resize(static_cast<std::size_t>(n_nodes_));
+  for (const int n : order)
+    c_down[static_cast<std::size_t>(n)] = cap_[static_cast<std::size_t>(n)];
+  for (std::size_t k = order.size(); k-- > 1;) {
+    const int n = order[k];
+    c_down[static_cast<std::size_t>(parent[static_cast<std::size_t>(n)])] +=
+        c_down[static_cast<std::size_t>(n)];
+  }
+  res.c_total = c_down[static_cast<std::size_t>(p.node)];
+
+  // First moment: prefix walk (driver resistance charges everything).
+  std::vector<double>& m1 = ws_m1_;
+  m1.resize(static_cast<std::size_t>(n_nodes_));
+  m1[static_cast<std::size_t>(p.node)] = p.r_series * res.c_total;
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const int n = order[k];
+    const std::size_t nidx = static_cast<std::size_t>(n);
+    m1[nidx] = m1[static_cast<std::size_t>(parent[nidx])] +
+               r_up[nidx] * c_down[nidx];
+  }
+  // Second moment: S_down = Σ_subtree C·m1, then the same prefix walk.
+  std::vector<double>& s_down = ws_s_down_;
+  s_down.resize(static_cast<std::size_t>(n_nodes_));
+  for (const int n : order) {
+    const std::size_t nidx = static_cast<std::size_t>(n);
+    s_down[nidx] = cap_[nidx] * m1[nidx];
+  }
+  for (std::size_t k = order.size(); k-- > 1;) {
+    const int n = order[k];
+    s_down[static_cast<std::size_t>(parent[static_cast<std::size_t>(n)])] +=
+        s_down[static_cast<std::size_t>(n)];
+  }
+  std::vector<double>& m2 = ws_m2_;
+  m2.resize(static_cast<std::size_t>(n_nodes_));
+  m2[static_cast<std::size_t>(p.node)] =
+      p.r_series * s_down[static_cast<std::size_t>(p.node)];
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const int n = order[k];
+    const std::size_t nidx = static_cast<std::size_t>(n);
+    m2[nidx] = m2[static_cast<std::size_t>(parent[nidx])] +
+               r_up[nidx] * s_down[nidx];
+  }
+  for (const int n : order) {
+    const std::size_t nidx = static_cast<std::size_t>(n);
+    if (m1[nidx] >= res.m1) {
+      res.m1 = m1[nidx];
+      res.m2 = m2[nidx];
+      res.far_node = static_cast<spice::NodeId>(n);
+    }
+  }
+  return res;
+}
+
+}  // namespace nemtcam::sta

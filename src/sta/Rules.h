@@ -1,0 +1,38 @@
+// STA-backed margin rules, enforced through the existing erc::Checker
+// path — quantitative siblings of the structural tcam.* rules:
+//
+//   sta.sense-margin      W  a matchline's nominal STA level at the sense
+//                            strobe sits inside the guard band around the
+//                            comparator threshold (undersized precharge,
+//                            excessive matched-row droop, or a discharge
+//                            too slow to commit before the strobe)
+//   sta.sl-ladder-delay   W  a driven line's Elmore settle bound exceeds
+//                            the sense strobe: the key has not reached
+//                            the far rows when the ML is sampled
+//   sta.refresh-window    E  a state-holding terminal's retention bound
+//                            C·(V_store − V_hold)/I_leak falls short of
+//                            safety × refresh period — the paper's
+//                            one-shot-refresh hazard as a closed-form
+//                            inequality (data loss, hence an error)
+//
+// All three run off one analyze() pass, so the factory returns a single
+// CustomRule emitting findings under the three ids. Margins use the
+// *nominal* STA estimate, not the k-widened bounds: the band factors
+// absorb macro-model error for bracketing, but a rule that cried wolf on
+// every k_hi-padded corner would drown the real defects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "erc/Checker.h"
+#include "sta/Sta.h"
+
+namespace nemtcam::sta {
+
+// One rule evaluating all sta.* margin checks over the given matchline
+// probes (empty → the "ml*" heuristic of analyze()).
+erc::Checker::CustomRule margin_rules(std::vector<std::string> ml_probes,
+                                      StaOptions opt);
+
+}  // namespace nemtcam::sta

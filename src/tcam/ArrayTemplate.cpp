@@ -1,6 +1,8 @@
 #include "tcam/ArrayTemplate.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <map>
 #include <utility>
 
@@ -10,6 +12,9 @@
 #include "erc/TcamRules.h"
 #include "spice/Partition.h"
 #include "spice/Waveform.h"
+#include "sta/Rules.h"
+#include "sta/Sta.h"
+#include "tcam/StaBridge.h"
 #include "util/ThreadPool.h"
 
 namespace nemtcam::tcam {
@@ -223,6 +228,47 @@ ArraySearchMetrics ArrayFixture::metrics(const spice::TransientResult& result,
     rr.latency = cross.has_value() ? (*cross - t_edge_) : 0.0;
     if (rr.matched) ++m.match_count;
   }
+  if (sta::default_enabled()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::string> probes;
+    probes.reserve(static_cast<std::size_t>(rows_));
+    for (int r = 0; r < rows_; ++r)
+      probes.push_back(circuit_.node_name(ml_[static_cast<std::size_t>(r)]));
+    const sta::StaReport rep =
+        sta::analyze(circuit_, probes, sta_options_for(cal_, strobe_delay));
+    // Aggregate: timing band spans the rows STA predicts to discharge
+    // (margin < 0) — matched rows only leak, their multi-ms "times" would
+    // swamp the band. Margin comes from the row closest to the threshold.
+    StaSummary agg;
+    bool have_margin = false, have_band = false;
+    for (int r = 0; r < rows_; ++r) {
+      StaSummary& s = m.rows[static_cast<std::size_t>(r)].sta;
+      s = sta_summary_from(rep, probes[static_cast<std::size_t>(r)]);
+      if (!s.valid) continue;
+      if (!agg.valid) agg = s;  // energy band / SL settle / retention are global
+      if (!have_margin || std::abs(s.margin) < std::abs(agg.margin)) {
+        agg.margin = s.margin;
+        agg.v_strobe = s.v_strobe;
+        have_margin = true;
+      }
+      if (s.margin < 0.0 && std::isfinite(s.t_nom) && s.t_nom > 0.0) {
+        if (!have_band) {
+          agg.t_lo = s.t_lo;
+          agg.t_nom = s.t_nom;
+          agg.t_hi = s.t_hi;
+          have_band = true;
+        } else {
+          agg.t_lo = std::min(agg.t_lo, s.t_lo);
+          agg.t_nom = std::max(agg.t_nom, s.t_nom);
+          agg.t_hi = std::max(agg.t_hi, s.t_hi);
+        }
+      }
+    }
+    agg.analysis_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    m.sta = agg;
+  }
   m.ok = true;
   return m;
 }
@@ -291,6 +337,16 @@ void ArrayTemplate::build(const core::TernaryWord& key) {
           ArrayRowContext{fx_->checker(), fx_->ml(r), fx_->vdd(), r, width_,
                           row_scope + "."},
           stored_[static_cast<std::size_t>(r)]);
+  }
+  // One STA margin-rule pass covers every matchline: the rules run over
+  // the array as bound for the first search after the (re)build, at the
+  // width-scaled nominal strobe.
+  if (sta::default_enabled()) {
+    std::vector<std::string> probes;
+    probes.reserve(static_cast<std::size_t>(rows_));
+    for (int r = 0; r < rows_; ++r) probes.push_back("ml" + std::to_string(r));
+    fx_->checker().add_rule(sta::margin_rules(
+        std::move(probes), sta_options_for(spec_.cal, default_strobe())));
   }
   fx_->install_partition();
   built_key_ = key;

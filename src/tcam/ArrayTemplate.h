@@ -82,6 +82,9 @@ struct ArrayRowResult {
   double latency = 0.0;  // SL edge → ML crossing the sense level (s)
   double ml_final = 0.0;
   double ml_min = 0.0;  // minimum after the SL edge
+  // This row's static bounds from the whole-array STA pass (the energy
+  // band and line/retention worst cases repeat the array-level figures).
+  StaSummary sta;
 };
 
 struct ArraySearchMetrics {
@@ -102,6 +105,10 @@ struct ArraySearchMetrics {
   std::size_t bbd_blocks = 0;
   std::size_t bbd_border = 0;
   std::uint64_t bbd_fallbacks = 0;
+  // Array-level STA aggregate: timing bounds span every discharging row
+  // (t_lo = earliest, t_hi = latest), margin/v_strobe come from the row
+  // closest to the sense threshold, energy band covers the whole array.
+  StaSummary sta;
   std::string note;
 };
 

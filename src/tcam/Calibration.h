@@ -98,6 +98,11 @@ struct Calibration {
 
   // One-shot refresh.
   double v_refresh = 0.5;  // V_R, inside (V_PO, V_PI) with noise margin
+  // Refresh cadence the static sta.refresh-window rule checks retention
+  // bounds against (s). 0 = unscheduled: the rule stays silent, matching
+  // designs that refresh on demand. Set it (e.g. 10 µs) to assert every
+  // state-holding node outlasts safety × period.
+  double t_refresh_period = 0.0;
 
   // Search transaction timing.
   double t_precharge = 0.5e-9;     // ML precharge window

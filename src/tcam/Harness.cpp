@@ -1,10 +1,14 @@
 #include "tcam/Harness.h"
 
+#include <chrono>
+
 #include "devices/Mosfet.h"
 #include "devices/Passive.h"
 #include "devices/Sources.h"
 #include "erc/TcamRules.h"
 #include "spice/Waveform.h"
+#include "sta/Sta.h"
+#include "tcam/StaBridge.h"
 
 namespace nemtcam::tcam {
 
@@ -158,7 +162,19 @@ SearchMetrics SearchFixture::metrics(const spice::TransientResult& result,
       ml_trace.cross_time(cal_.ml_sense_level, /*rising=*/false, t_edge_);
   m.latency = cross.has_value() ? (*cross - t_edge_) : 0.0;
   m.ok = true;
+  if (sta::default_enabled()) m.sta = sta_summary(strobe_delay);
   return m;
+}
+
+StaSummary SearchFixture::sta_summary(double strobe_delay) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const sta::StaReport rep = sta::analyze(
+      circuit_, {"ml"}, sta_options_for(cal_, strobe_delay));
+  StaSummary s = sta_summary_from(rep, "ml");
+  s.analysis_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return s;
 }
 
 }  // namespace nemtcam::tcam

@@ -66,9 +66,15 @@ class SearchFixture {
   // Interprets the run. Match/mismatch is decided at the sense strobe
   // (t_edge + strobe_delay): matched = ML still above the sense level
   // there. Latency is the SL-edge → ML-crossing time when the ML crossed.
-  // Non-const: reads the circuit's solver-cache telemetry.
+  // Non-const: reads the circuit's solver-cache telemetry. When
+  // sta::default_enabled(), also attaches the closed-form STA bounds
+  // (SearchMetrics::sta) from a fresh static pass over the bound circuit.
   SearchMetrics metrics(const spice::TransientResult& result,
                         double strobe_delay);
+
+  // The static pass alone: timing/energy/margin bounds for the circuit
+  // as currently bound (ICs seeded, key rebound), no transient needed.
+  StaSummary sta_summary(double strobe_delay);
 
  private:
   Calibration cal_;  // by value: rows may pass a locally adjusted copy

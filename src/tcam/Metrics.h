@@ -13,6 +13,24 @@ struct WriteMetrics {
   std::string note;         // failure diagnostics
 };
 
+// Closed-form bounds from the sta:: engine, attached to transaction
+// metrics when static analysis is enabled (sta::default_enabled()). The
+// contract the STA bench enforces: t_lo ≤ measured mismatch latency ≤
+// t_hi, e_lo ≤ measured search energy ≤ e_hi. All zeros when invalid.
+struct StaSummary {
+  bool valid = false;
+  double t_lo = 0.0;        // earliest credible ML crossing (s)
+  double t_nom = 0.0;       // nominal single-pole crossing estimate (s)
+  double t_hi = 0.0;        // latest credible crossing incl. SL settle (s)
+  double v_strobe = 0.0;    // predicted ML level at the sense strobe (V)
+  double margin = 0.0;      // signed sense margin at the strobe (V)
+  double e_lo = 0.0;        // search-energy band (J)
+  double e_hi = 0.0;
+  double t_sl_settle = 0.0;   // worst driven-line settle bound (s)
+  double t_retention = 0.0;   // worst storage retention bound (s; inf = safe)
+  double analysis_seconds = 0.0;  // wall time of the static pass
+};
+
 struct SearchMetrics {
   bool ok = false;            // simulation finished and ML behaved sanely
   bool matched = false;       // ML stayed up (match) vs discharged (mismatch)
@@ -33,6 +51,9 @@ struct SearchMetrics {
   // assertion behind the "zero reconstruction after the first search"
   // contract (see hier/Elaborate.h).
   std::size_t stamp_pattern_builds = 0;
+  // Static timing/energy bounds for this transaction's circuit (empty
+  // when sta::default_enabled() is off).
+  StaSummary sta;
   std::string note;
 
   double edp() const { return energy * latency; }

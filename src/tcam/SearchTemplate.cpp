@@ -1,6 +1,9 @@
 #include "tcam/SearchTemplate.h"
 
 #include "devices/Passive.h"
+#include "sta/Rules.h"
+#include "sta/Sta.h"
+#include "tcam/StaBridge.h"
 
 namespace nemtcam::tcam {
 
@@ -50,6 +53,15 @@ void SearchTemplate::build(const core::TernaryWord& key,
     spec_.array_rules(
         ArrayRowContext{fx_->checker(), fx_->ml(), fx_->vdd(), 0, width_, ""},
         stored);
+  // Quantitative STA margin rules ride the same checker pass as the
+  // structural rules, at this row's width-scaled strobe. They see the
+  // circuit as bound for the first search after the (re)build.
+  if (sta::default_enabled()) {
+    const double strobe =
+        spec_.t_strobe * (0.25 + 0.75 * width_ / 64.0);
+    fx_->checker().add_rule(
+        sta::margin_rules({"ml"}, sta_options_for(spec_.cal, strobe)));
+  }
   built_key_ = key;
   built_stored_ = stored;
   ++builds_;

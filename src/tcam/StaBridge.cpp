@@ -1,0 +1,42 @@
+#include "tcam/StaBridge.h"
+
+#include <cmath>
+#include <limits>
+
+namespace nemtcam::tcam {
+
+sta::StaOptions sta_options_for(const Calibration& cal,
+                                double strobe_delay) {
+  sta::StaOptions opt;
+  opt.vdd = cal.vdd;
+  opt.v_sense = cal.ml_sense_level;
+  opt.t_precharge = cal.t_precharge;
+  opt.t_strobe = strobe_delay;
+  opt.t_window = cal.t_search_window;
+  opt.refresh_period = cal.t_refresh_period;
+  return opt;
+}
+
+StaSummary sta_summary_from(const sta::StaReport& rep,
+                            const std::string& ml_node) {
+  StaSummary s;
+  for (const auto& ml : rep.mls) {
+    if (ml.node != ml_node || !ml.valid) continue;
+    s.valid = true;
+    s.t_lo = ml.t_cross_lo;
+    s.t_nom = ml.t_cross_nom;
+    s.t_hi = ml.t_cross_hi;
+    s.v_strobe = ml.v_strobe_nom;
+    s.margin = ml.sense_margin;
+    break;
+  }
+  s.e_lo = rep.e_search_lo;
+  s.e_hi = rep.e_search_hi;
+  s.t_sl_settle = rep.t_sl_settle_max;
+  s.t_retention = std::numeric_limits<double>::infinity();
+  if (const sta::RetentionReport* worst = rep.worst_retention())
+    s.t_retention = worst->t_retention;
+  return s;
+}
+
+}  // namespace nemtcam::tcam

@@ -1,0 +1,26 @@
+// Glue between the tcam calibration/metrics layer and the sta:: engine:
+// derives StaOptions from a Calibration plus the transaction's strobe,
+// and folds a full StaReport down to the StaSummary that rides on
+// SearchMetrics / ArraySearchMetrics. Kept out of Harness.h so Metrics.h
+// stays free of sta includes.
+#pragma once
+
+#include <string>
+
+#include "sta/Sta.h"
+#include "tcam/Calibration.h"
+#include "tcam/Metrics.h"
+
+namespace nemtcam::tcam {
+
+// Analysis options matching how the search fixtures drive the circuit:
+// the calibration's rails, precharge window and sense level, the caller's
+// strobe delay, and the refresh cadence (0 = refresh-window rule silent).
+sta::StaOptions sta_options_for(const Calibration& cal, double strobe_delay);
+
+// Collapses a report to the single-matchline summary for `ml_node`
+// (bounds of that ML, whole-circuit energy band, worst line/retention).
+StaSummary sta_summary_from(const sta::StaReport& rep,
+                            const std::string& ml_node);
+
+}  // namespace nemtcam::tcam

@@ -66,8 +66,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(TcamKind::Sram16T, TcamKind::Nem3T2N, TcamKind::Rram2T2R,
                       TcamKind::Fefet2F, TcamKind::Dtcam5T,
                       TcamKind::Fefet4T2F, TcamKind::Mram4T2M),
-    [](const auto& info) {
-      switch (info.param) {
+    [](const auto& param_info) {
+      switch (param_info.param) {
         case TcamKind::Sram16T: return "Sram16T";
         case TcamKind::Nem3T2N: return "Nem3T2N";
         case TcamKind::Rram2T2R: return "Rram2T2R";

@@ -6,43 +6,56 @@
 # Stages:
 #   1. release build (preset `release`) + full ctest
 #   2. ASan/UBSan build (preset `asan`) + the `robustness`, `hier`,
-#      `array` and `lifetime` test labels (elaboration, BBD solver,
-#      threaded Schur accumulation and multi-rate engine code paths
-#      under the sanitizers)
-#   3. lint build (preset `lint`): -Wall -Wextra -Wshadow -Werror, plus
+#      `array`, `lifetime` and `sta` test labels (elaboration, BBD
+#      solver, threaded Schur accumulation, multi-rate engine and static
+#      analysis code paths under the sanitizers)
+#   3. TSan build (preset `tsan`) + the `array` and `solver` labels: the
+#      threaded Schur accumulation and the integrator paths it calls are
+#      the only concurrency in the repo, so those labels are the race
+#      surface
+#   4. lint build (preset `lint`): -Wall -Wextra -Wshadow -Werror, plus
 #      clang-tidy when installed (the CMake option degrades gracefully)
-#   4. static ERC over the shipped example decks (including the
-#      hierarchical .subckt deck) via nemtcam_lint --werror
-#   5. lifetime-bench smoke: the CI-sized datacenter-lifetime sweep
-#      (bench_lifetime --smoke) must complete with its internal gates
-#      green (every point runs, remap extends NEM lifetime)
+#   5. static ERC + STA margin rules over the shipped example decks
+#      (including the hierarchical .subckt deck) via
+#      nemtcam_lint --sta --werror
+#   6. bench smokes: the CI-sized datacenter-lifetime sweep
+#      (bench_lifetime --smoke) and the STA bracketing/speedup gate
+#      (bench_sta --smoke) must complete with their internal gates green
 #
 # Fails fast on the first broken stage.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==== [1/5] release build + tests ===="
+echo "==== [1/6] release build + tests ===="
 cmake --preset release
 cmake --build --preset release -j
 ctest --preset all -j
 
-echo "==== [2/5] asan build + robustness/hier/array/lifetime labels ===="
+echo "==== [2/6] asan build + robustness/hier/array/lifetime/sta labels ===="
 cmake --preset asan
 cmake --build --preset asan -j
 ctest --preset robustness-asan -j
 ctest --preset hier-asan -j
 ctest --preset array-asan -j
 ctest --preset lifetime-asan -j
+ctest --preset sta-asan -j
 
-echo "==== [3/5] lint build (-Werror, clang-tidy if installed) ===="
+echo "==== [3/6] tsan build + array/solver labels ===="
+cmake --preset tsan
+cmake --build --preset tsan -j
+ctest --preset array-tsan -j
+ctest --preset solver-tsan -j
+
+echo "==== [4/6] lint build (-Werror, clang-tidy if installed) ===="
 cmake --preset lint
 cmake --build --preset lint -j
 
-echo "==== [4/5] ERC over example decks (warnings are errors) ===="
-build/tools/nemtcam_lint --werror examples/decks/*.sp
+echo "==== [5/6] ERC + STA margins over example decks (warnings are errors) ===="
+build/tools/nemtcam_lint --sta --werror examples/decks/*.sp
 
-echo "==== [5/5] lifetime-bench smoke sweep ===="
+echo "==== [6/6] bench smokes (lifetime sweep, STA gate) ===="
 (cd build/bench && ./bench_lifetime --smoke)
+(cd build/bench && ./bench_sta --smoke)
 
 echo "==== ci.sh: all stages passed ===="

@@ -1,6 +1,7 @@
-// nemtcam_lint — static ERC over SPICE-style netlists; no simulation.
+// nemtcam_lint — static ERC/STA over SPICE-style netlists; no simulation.
 //
 //   nemtcam_lint <deck.sp> [more decks...] [--werror] [--quiet]
+//                [--sta] [--json] [--refresh-period <s>]
 //
 // Parses each deck and runs the full ERC pass (connectivity, DC
 // structural rank, value lint — see src/erc/Rules.h for the rule
@@ -9,19 +10,51 @@
 //   deck.sp: error[connect.no-dc-path]: node 'sense' has no DC-conductive
 //   path to ground (touched by C1) (hint: add a DC leak path ...)
 //
-// Exit status: 0 when every deck is clean of errors, 1 when any deck has
-// an error (or, under --werror, a warning), 2 on usage/parse/IO problems.
-// --quiet suppresses per-finding lines and prints only the per-deck
-// summary, which is what tools/ci.sh greps.
+// --sta additionally runs the static timing/energy/margin analysis
+// (src/sta/Sta.h) over each deck — every top-level node named "ml*" is
+// treated as a matchline — and registers the quantitative margin rules
+// (sta.sense-margin, sta.sl-ladder-delay, sta.refresh-window) in the
+// same checker pass, so their findings interleave with the structural
+// ones and obey --werror. The STA summary (timing band, energy band,
+// line settle bounds, retention) prints after the findings unless
+// --quiet or --json. --refresh-period arms the sta.refresh-window
+// inequality (disabled by default: decks carry no refresh schedule).
+//
+// --json replaces the human-readable output with one JSON document on
+// stdout — an array with one object per deck:
+//
+//   [{"deck": "a.sp",
+//     "status": "clean" | "findings" | "parse-error",
+//     "error": "...",            // parse-error only
+//     "findings": [{"rule": "connect.no-dc-path", "severity": "error",
+//                   "message": "...", "hint": "...", "line": 12,
+//                   "nodes": ["sense"], "devices": ["C1"]}, ...],
+//     "sta": {"t_lo": ..., "t_nom": ..., "t_hi": ..., "e_lo": ...,
+//             "e_nom": ..., "e_hi": ..., "t_sl_settle": ...,
+//             "t_retention": ...}}]   // present under --sta
+//
+// "line" is the deck line of the finding's first attributed device, when
+// the parser recorded one. Diagnostics still go to stderr.
+//
+// Exit status (identical with and without --json):
+//   0  every deck parsed and is clean of errors (and of warnings,
+//      under --werror)
+//   1  at least one deck has an error finding (or, under --werror, a
+//      warning) — including the sta.* rules when --sta is on
+//   2  usage, file-IO, or parse problems (malformed deck); findings in
+//      other decks are still reported
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "erc/Checker.h"
 #include "netlist/Netlist.h"
+#include "sta/Rules.h"
+#include "sta/Sta.h"
 
 using namespace nemtcam;
 
@@ -30,9 +63,60 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: nemtcam_lint <deck.sp> [more decks...]"
-               " [--werror] [--quiet]\n");
+               " [--werror] [--quiet] [--sta] [--json]"
+               " [--refresh-period <seconds>]\n");
   return 2;
 }
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void json_string_list(std::string& out, const char* key,
+                      const std::vector<std::string>& items) {
+  out += '"';
+  out += key;
+  out += "\":[";
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i) out += ',';
+    out += '"' + json_escape(items[i]) + '"';
+  }
+  out += ']';
+}
+
+// One deck's worth of machine-readable output, built as we go.
+struct DeckJson {
+  std::string body;  // the object's fields, comma-joined
+  void field(const std::string& f) {
+    if (!body.empty()) body += ',';
+    body += f;
+  }
+};
 
 }  // namespace
 
@@ -40,12 +124,27 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   bool werror = false;
   bool quiet = false;
+  bool sta_pass = false;
+  bool json = false;
+  double refresh_period = -1.0;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--werror") == 0) {
       werror = true;
     } else if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--sta") == 0) {
+      sta_pass = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--refresh-period") == 0) {
+      if (i + 1 >= argc) return usage();
+      try {
+        refresh_period = spice::parse_spice_number(argv[++i]);
+      } catch (const spice::NetlistError&) {
+        return usage();
+      }
+      sta_pass = true;  // a period without --sta would silently do nothing
     } else if (argv[i][0] != '-') {
       paths.emplace_back(argv[i]);
     } else {
@@ -54,29 +153,49 @@ int main(int argc, char** argv) {
   }
   if (paths.empty()) return usage();
 
+  sta::StaOptions sta_opt;
+  sta_opt.refresh_period = refresh_period;
+
   bool clean = true;
   bool broken = false;  // parse/IO failures → exit 2
+  std::string json_out = "[";
+  bool first_deck = true;
   for (const auto& path : paths) {
+    DeckJson dj;
+    dj.field("\"deck\":\"" + json_escape(path) + "\"");
+
     std::ifstream in(path);
-    if (!in) {
-      std::fprintf(stderr, "nemtcam_lint: cannot open '%s'\n", path.c_str());
-      broken = true;
-      continue;
-    }
-    std::stringstream buf;
-    buf << in.rdbuf();
-
     spice::ParsedNetlist deck;
-    try {
-      deck = spice::parse_netlist(buf.str());
-    } catch (const spice::NetlistError& e) {
-      std::fprintf(stderr, "nemtcam_lint: %s: %s\n", path.c_str(), e.what());
+    std::string parse_error;
+    if (!in) {
+      parse_error = "cannot open file";
+    } else {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      try {
+        deck = spice::parse_netlist(buf.str());
+      } catch (const spice::NetlistError& e) {
+        parse_error = e.what();
+      }
+    }
+    if (!parse_error.empty()) {
+      std::fprintf(stderr, "nemtcam_lint: %s: %s\n", path.c_str(),
+                   parse_error.c_str());
       broken = true;
+      if (json) {
+        dj.field("\"status\":\"parse-error\"");
+        dj.field("\"error\":\"" + json_escape(parse_error) + "\"");
+        json_out += (first_deck ? "\n {" : ",\n {") + dj.body + "}";
+        first_deck = false;
+      }
       continue;
     }
 
-    const erc::Report report = erc::Checker().run(*deck.circuit);
-    if (!quiet) {
+    erc::Checker checker;
+    if (sta_pass) checker.add_rule(sta::margin_rules({}, sta_opt));
+    const erc::Report report = checker.run(*deck.circuit);
+
+    if (!json && !quiet) {
       for (const auto& f : report.findings()) {
         std::string line = path + ": " + erc::severity_name(f.severity) +
                            "[" + f.rule + "]: " + f.message;
@@ -84,11 +203,83 @@ int main(int argc, char** argv) {
         std::printf("%s\n", line.c_str());
       }
     }
-    std::printf("%s: %s\n", path.c_str(),
-                report.empty() ? "clean" : report.summary().c_str());
+
+    if (json) {
+      dj.field("\"status\":\"" +
+               std::string(report.empty() ? "clean" : "findings") + "\"");
+      std::string arr = "\"findings\":[";
+      bool first_f = true;
+      for (const auto& f : report.findings()) {
+        std::string obj = "{\"rule\":\"" + json_escape(f.rule) + "\"";
+        obj += ",\"severity\":\"" +
+               std::string(erc::severity_name(f.severity)) + "\"";
+        obj += ",\"message\":\"" + json_escape(f.message) + "\"";
+        if (!f.hint.empty())
+          obj += ",\"hint\":\"" + json_escape(f.hint) + "\"";
+        for (const auto& d : f.devices) {
+          const auto it = deck.device_lines.find(d);
+          if (it != deck.device_lines.end()) {
+            obj += ",\"line\":" + std::to_string(it->second);
+            break;
+          }
+        }
+        obj += ',';
+        json_string_list(obj, "nodes", f.nodes);
+        obj += ',';
+        json_string_list(obj, "devices", f.devices);
+        obj += '}';
+        if (!first_f) arr += ',';
+        arr += obj;
+        first_f = false;
+      }
+      arr += ']';
+      dj.field(arr);
+    }
+
+    if (sta_pass) {
+      const sta::StaReport rep = sta::analyze(*deck.circuit, {}, sta_opt);
+      if (json) {
+        const sta::RetentionReport* worst = rep.worst_retention();
+        double t_lo = 0.0, t_nom = 0.0, t_hi = 0.0;
+        for (const auto& ml : rep.mls) {
+          if (!ml.valid || !ml.discharges) continue;
+          if (t_nom == 0.0 || ml.t_cross_nom > t_nom) {
+            t_lo = ml.t_cross_lo;
+            t_nom = ml.t_cross_nom;
+            t_hi = ml.t_cross_hi;
+          }
+        }
+        std::string sj = "\"sta\":{";
+        sj += "\"t_lo\":" + json_number(t_lo);
+        sj += ",\"t_nom\":" + json_number(t_nom);
+        sj += ",\"t_hi\":" + json_number(t_hi);
+        sj += ",\"e_lo\":" + json_number(rep.e_search_lo);
+        sj += ",\"e_nom\":" + json_number(rep.e_search_nom);
+        sj += ",\"e_hi\":" + json_number(rep.e_search_hi);
+        sj += ",\"t_sl_settle\":" + json_number(rep.t_sl_settle_max);
+        sj += ",\"t_retention\":" +
+              (worst ? json_number(worst->t_retention) : std::string("null"));
+        sj += '}';
+        dj.field(sj);
+      } else if (!quiet) {
+        std::printf("%s", rep.to_string().c_str());
+      }
+    }
+
+    if (!json)
+      std::printf("%s: %s\n", path.c_str(),
+                  report.empty() ? "clean" : report.summary().c_str());
+    else {
+      json_out += (first_deck ? "\n {" : ",\n {") + dj.body + "}";
+      first_deck = false;
+    }
     if (report.has_errors() ||
         (werror && report.count(erc::Severity::Warning) > 0))
       clean = false;
+  }
+  if (json) {
+    json_out += "\n]\n";
+    std::fputs(json_out.c_str(), stdout);
   }
   if (broken) return 2;
   return clean ? 0 : 1;
